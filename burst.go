@@ -1,0 +1,226 @@
+// Package burst is a Go implementation of the methodology of
+// "Burstiness in Multi-Tier Applications: Symptoms, Causes, and New
+// Models" (Mi, Casale, Cherkasova, Smirni — Middleware 2008): capacity
+// planning for multi-tier systems whose workloads exhibit burstiness and
+// bottleneck switch.
+//
+// The library covers the full pipeline of the paper:
+//
+//   - measure: coarse utilization samples U_k and completion counts n_k
+//     per monitoring window (the only inputs required — obtainable from
+//     sar plus any transaction monitor);
+//   - characterize: estimate the mean service time (utilization law),
+//     the index of dispersion I (busy-period counting algorithm of
+//     Fig. 2), and the 95th percentile of service times per tier;
+//   - fit: build a two-phase Markovian Arrival Process per tier matching
+//     (mean, I, p95) exactly on mean and I, selecting on p95;
+//   - model: solve the closed MAP queueing network {front, DB, think
+//     time, N clients} exactly via its CTMC, alongside the classical MVA
+//     baseline;
+//   - validate: a full TPC-W testbed simulator with the burstiness
+//     mechanisms the paper identifies (per-type demands, multi-query
+//     transactions, Best-Seller-triggered database contention) acts as
+//     the measured system.
+//
+// Quick start:
+//
+//	plan, err := burst.NewPlan(frontSamples, dbSamples, 0.5, burst.PlannerOptions{})
+//	preds, err := plan.Predict([]int{25, 50, 100, 150})
+//
+// See the examples/ directory for complete programs.
+package burst
+
+import (
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/inference"
+	"repro/internal/mapqn"
+	"repro/internal/markov"
+	"repro/internal/mva"
+	"repro/internal/queues"
+	"repro/internal/tpcw"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Re-exported core types. The facade keeps downstream users off the
+// internal packages while exposing the complete workflow.
+type (
+	// Trace is a sequence of service times in completion order.
+	Trace = trace.T
+	// UtilizationSamples is the coarse monitoring input: per-period
+	// utilizations and completion counts.
+	UtilizationSamples = trace.UtilizationSamples
+	// DispersionOptions tunes the index-of-dispersion estimators.
+	DispersionOptions = trace.DispersionOptions
+	// DispersionEstimate is the output of the Figure 2 algorithm.
+	DispersionEstimate = trace.EstimateResult
+	// Profile selects a Figure 1 burstiness profile.
+	Profile = trace.Profile
+
+	// MAP is a Markovian Arrival Process.
+	MAP = markov.MAP
+	// FitResult reports a fitted MAP(2) and its achieved descriptors.
+	FitResult = markov.FitResult
+	// FitOptions tunes the MAP(2) selection procedure.
+	FitOptions = markov.FitOptions
+
+	// Characterization is the three-parameter service description
+	// (mean, I, p95).
+	Characterization = inference.Characterization
+
+	// Plan is a parameterized capacity-planning model.
+	Plan = core.Plan
+	// PlannerOptions tunes plan construction.
+	PlannerOptions = core.PlannerOptions
+	// Prediction holds MAP-model and MVA metrics at one population.
+	Prediction = core.Prediction
+	// Accuracy compares predictions against measurements.
+	Accuracy = core.Accuracy
+
+	// MAPNetworkModel is the closed MAP queueing network of the paper.
+	MAPNetworkModel = mapqn.Model
+	// MAPNetworkMetrics is its exact solution.
+	MAPNetworkMetrics = mapqn.Metrics
+	// SolverOptions tunes the CTMC steady-state solver.
+	SolverOptions = ctmc.Options
+
+	// MVANetwork is the classical product-form baseline.
+	MVANetwork = mva.Network
+	// MVAResult is the MVA solution at one population.
+	MVAResult = mva.Result
+
+	// TPCWConfig parameterizes a TPC-W testbed simulation.
+	TPCWConfig = tpcw.Config
+	// TPCWResult is a testbed run's measurements.
+	TPCWResult = tpcw.Result
+	// TPCWMix is one of the standard transaction mixes.
+	TPCWMix = tpcw.Mix
+
+	// QueueResult summarizes a single-queue simulation (Table 1).
+	QueueResult = queues.Result
+
+	// Source is a seeded random stream.
+	Source = xrand.Source
+)
+
+// Burstiness profiles of Figure 1.
+const (
+	ProfileRandom       = trace.ProfileRandom
+	ProfileMildBursts   = trace.ProfileMildBursts
+	ProfileStrongBursts = trace.ProfileStrongBursts
+	ProfileSingleBurst  = trace.ProfileSingleBurst
+)
+
+// NewSource returns a seeded random stream for reproducible experiments.
+func NewSource(seed int64) *Source { return xrand.New(seed) }
+
+// GenerateBurstyTrace generates n hyperexponential service times (given
+// mean and SCV) arranged according to the requested burstiness profile —
+// the construction of Figure 1.
+func GenerateBurstyTrace(n int, mean, scv float64, profile Profile, src *Source) (Trace, error) {
+	return trace.GenerateH2Trace(n, mean, scv, profile, src)
+}
+
+// IndexOfDispersion estimates I of a raw service-time trace using the
+// counting definition of Eq. (2).
+func IndexOfDispersion(t Trace, opts DispersionOptions) (float64, error) {
+	return t.IndexOfDispersion(opts)
+}
+
+// EstimateIndexOfDispersion runs the paper's Figure 2 algorithm on coarse
+// monitoring samples, estimating I of the server's service process.
+func EstimateIndexOfDispersion(u UtilizationSamples, opts DispersionOptions) (DispersionEstimate, error) {
+	return u.EstimateIndexOfDispersion(opts)
+}
+
+// Characterize runs the full Section 4.1 measurement pipeline on one
+// server's monitoring samples: mean service time, I, and p95.
+func Characterize(u UtilizationSamples) (Characterization, error) {
+	return inference.Characterize(u, inference.Options{})
+}
+
+// FitMAP2 builds a two-phase MAP service process from the paper's three
+// measurements (Section 4.1). Pass p95 = 0 when unmeasured.
+func FitMAP2(mean, indexOfDispersion, p95 float64, opts FitOptions) (FitResult, error) {
+	return markov.FitThreePoint(mean, indexOfDispersion, p95, opts)
+}
+
+// NewPlan builds the paper's capacity-planning model from front and DB
+// monitoring samples, to be evaluated at think time thinkTime.
+func NewPlan(front, db UtilizationSamples, thinkTime float64, opts PlannerOptions) (*Plan, error) {
+	return core.BuildPlan(front, db, thinkTime, opts)
+}
+
+// NewPlanFromCharacterizations builds a plan from pre-computed
+// characterizations (useful when measurements were processed elsewhere).
+func NewPlanFromCharacterizations(front, db Characterization, thinkTime float64, opts PlannerOptions) (*Plan, error) {
+	return core.BuildPlanFromCharacterizations(front, db, thinkTime, opts)
+}
+
+// SolveMAPNetwork solves the closed MAP queueing network exactly.
+func SolveMAPNetwork(m MAPNetworkModel, opts SolverOptions) (MAPNetworkMetrics, error) {
+	return mapqn.Solve(m, opts)
+}
+
+// SolveMVA solves the classical MVA baseline at population n.
+func SolveMVA(frontDemand, dbDemand, thinkTime float64, n int) (MVAResult, error) {
+	return mva.Solve(mva.Model(frontDemand, dbDemand, thinkTime), n)
+}
+
+// SimulateTPCW runs the TPC-W testbed simulator.
+func SimulateTPCW(cfg TPCWConfig) (*TPCWResult, error) {
+	return tpcw.Run(cfg)
+}
+
+// BrowsingMix, ShoppingMix and OrderingMix return the standard TPC-W
+// transaction mixes (95/5, 80/20 and 50/50 browsing/ordering).
+func BrowsingMix() TPCWMix { return tpcw.BrowsingMix() }
+
+// ShoppingMix returns the 80/20 mix.
+func ShoppingMix() TPCWMix { return tpcw.ShoppingMix() }
+
+// OrderingMix returns the 50/50 mix.
+func OrderingMix() TPCWMix { return tpcw.OrderingMix() }
+
+// SimulateMTrace1 simulates the M/Trace/1 queue of Section 2: Poisson
+// arrivals, FCFS service replayed from the trace in order.
+func SimulateMTrace1(t Trace, arrivalRate float64, src *Source) (QueueResult, error) {
+	return queues.MTrace1(t, arrivalRate, src)
+}
+
+// HurstParameter estimates the Hurst exponent of a service trace with the
+// aggregated-variance method; H > 0.5 indicates long-range dependence
+// (the paper relates the index of dispersion to the Hurst parameter).
+func HurstParameter(t Trace) (float64, error) {
+	est, err := t.HurstAggregatedVariance()
+	if err != nil {
+		return 0, err
+	}
+	return est.H, nil
+}
+
+// ModelBounds brackets the MAP network's throughput with two O(N)
+// product-form evaluations — usable at populations far beyond exact CTMC
+// reach (the paper's Section 4.2 scenario of ~1200 EBs at Z = 7 s).
+func ModelBounds(m MAPNetworkModel) (MAPNetworkBounds, error) {
+	return mapqn.Bounds(m)
+}
+
+// MAPNetworkBounds is the result of ModelBounds.
+type MAPNetworkBounds = mapqn.BoundsResult
+
+// FitMMPP2FromCounts fits a two-state MMPP from counting statistics:
+// fundamental rate, index of dispersion, and burst time scale. Use it
+// when measurements describe epochs rather than per-request percentiles.
+func FitMMPP2FromCounts(rate, indexOfDispersion, burstScale float64) (*MAP, error) {
+	return markov.FitMMPP2Counts(rate, indexOfDispersion, burstScale)
+}
+
+// HeavyTrafficWait returns the QNA-style heavy-traffic mean waiting time
+// of a FCFS queue given utilization, mean service time, the arrivals'
+// index of dispersion, and the service SCV (paper Section 5, citing
+// Sriram & Whitt).
+func HeavyTrafficWait(rho, meanService, indexOfDispersion, scvService float64) (float64, error) {
+	return queues.HeavyTrafficWait(rho, meanService, indexOfDispersion, scvService)
+}

@@ -1,0 +1,72 @@
+// Command burstgen generates service-time traces with controlled
+// burstiness (the construction of Fig. 1) and prints them one sample per
+// line, optionally with summary statistics on stderr.
+//
+// Usage:
+//
+//	burstgen [-n 20000] [-mean 1] [-scv 3] [-profile random|mild|strong|single] [-seed 1] [-stats]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "burstgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 20000, "number of samples")
+	mean := flag.Float64("mean", 1.0, "mean service time")
+	scv := flag.Float64("scv", 3.0, "squared coefficient of variation (>= 1)")
+	profileName := flag.String("profile", "random", "burstiness profile: random, mild, strong, single")
+	seed := flag.Int64("seed", 1, "random seed")
+	showStats := flag.Bool("stats", false, "print mean/SCV/I summary to stderr")
+	flag.Parse()
+
+	var profile trace.Profile
+	switch *profileName {
+	case "random":
+		profile = trace.ProfileRandom
+	case "mild":
+		profile = trace.ProfileMildBursts
+	case "strong":
+		profile = trace.ProfileStrongBursts
+	case "single":
+		profile = trace.ProfileSingleBurst
+	default:
+		return fmt.Errorf("unknown profile %q", *profileName)
+	}
+
+	tr, err := trace.GenerateH2Trace(*n, *mean, *scv, profile, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for _, s := range tr {
+		if _, err := w.WriteString(strconv.FormatFloat(s, 'g', -1, 64) + "\n"); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if *showStats {
+		i, err := tr.IndexOfDispersion(trace.DispersionOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "n=%d mean=%.4f scv=%.3f I=%.1f\n", len(tr), tr.Mean(), tr.SCV(), i)
+	}
+	return nil
+}

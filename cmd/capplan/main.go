@@ -1,0 +1,127 @@
+// Command capplan runs the paper's end-to-end capacity-planning pipeline:
+// from two monitoring CSV files (front and database tier, lines of
+// "utilization,completions" per sampling period) it characterizes each
+// tier (mean, I, p95), fits MAP(2) service processes, and predicts
+// throughput and response time over a range of emulated-browser counts
+// with both the burstiness-aware MAP model and the MVA baseline.
+//
+// Usage:
+//
+//	capplan -front front.csv -db db.csv -period 5 -z 0.5 -ebs 25,50,75,100,150
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "capplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	frontPath := flag.String("front", "", "front-tier monitoring CSV (utilization,completions)")
+	dbPath := flag.String("db", "", "database-tier monitoring CSV")
+	period := flag.Float64("period", 5, "sampling period of the CSVs in seconds")
+	z := flag.Float64("z", 0.5, "think time Z_qn for the what-if model")
+	ebsList := flag.String("ebs", "25,50,75,100,150", "comma-separated EB counts to evaluate")
+	flag.Parse()
+	if *frontPath == "" || *dbPath == "" {
+		return fmt.Errorf("both -front and -db CSV files are required")
+	}
+
+	front, err := readCSV(*frontPath, *period)
+	if err != nil {
+		return fmt.Errorf("front: %w", err)
+	}
+	db, err := readCSV(*dbPath, *period)
+	if err != nil {
+		return fmt.Errorf("db: %w", err)
+	}
+	populations, err := parseEBs(*ebsList)
+	if err != nil {
+		return err
+	}
+
+	plan, err := core.BuildPlan(front, db, *z, core.PlannerOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("front: S=%.6gs I=%.4g p95=%.6gs (fit: SCV=%.3g gamma=%.3g)\n",
+		plan.Front.MeanServiceTime, plan.Front.IndexOfDispersion, plan.Front.P95ServiceTime,
+		plan.FrontFit.SCV, plan.FrontFit.Gamma)
+	fmt.Printf("db:    S=%.6gs I=%.4g p95=%.6gs (fit: SCV=%.3g gamma=%.3g)\n",
+		plan.DB.MeanServiceTime, plan.DB.IndexOfDispersion, plan.DB.P95ServiceTime,
+		plan.DBFit.SCV, plan.DBFit.Gamma)
+
+	preds, err := plan.Predict(populations)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "EBs\tMAP TPUT\tMAP R(s)\tMAP U_f\tMAP U_db\tMVA TPUT\tMVA R(s)")
+	for _, p := range preds {
+		fmt.Fprintf(w, "%d\t%.1f\t%.4f\t%.2f\t%.2f\t%.1f\t%.4f\n",
+			p.EBs, p.MAP.Throughput, p.MAP.ResponseTime, p.MAP.UtilFront, p.MAP.UtilDB,
+			p.MVA.Throughput, p.MVA.ResponseTime)
+	}
+	return w.Flush()
+}
+
+func readCSV(path string, period float64) (trace.UtilizationSamples, error) {
+	u := trace.UtilizationSamples{PeriodSeconds: period}
+	f, err := os.Open(path)
+	if err != nil {
+		return u, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return u, fmt.Errorf("%s:%d: want utilization,completions", path, lineNo)
+		}
+		util, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return u, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		compl, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return u, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		u.Utilization = append(u.Utilization, util)
+		u.Completions = append(u.Completions, compl)
+	}
+	return u, sc.Err()
+}
+
+func parseEBs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad EB count %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

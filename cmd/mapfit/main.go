@@ -1,0 +1,87 @@
+// Command mapfit fits a MAP(2) service process from the paper's three
+// measurements — mean service time, index of dispersion, 95th percentile
+// — and prints the fitted (D0, D1) matrices plus the achieved
+// descriptors. With -route counts it instead fits an MMPP(2) from
+// counting statistics (rate, I, burst time scale).
+//
+// Usage:
+//
+//	mapfit -mean 0.0046 -i 280 -p95 0.019
+//	mapfit -route counts -rate 100 -i 50 -burstscale 2.5
+//	mapfit -mean 0.0046 -i 280 -p95 0.019 -policy maxlag1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/markov"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mapfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	route := flag.String("route", "threepoint", "fitting route: threepoint (mean, I, p95) or counts (rate, I, burst scale)")
+	mean := flag.Float64("mean", 0, "mean service time in seconds (threepoint)")
+	p95 := flag.Float64("p95", 0, "95th percentile of service times (threepoint; 0 = unmeasured)")
+	i := flag.Float64("i", 0, "index of dispersion")
+	rate := flag.Float64("rate", 0, "fundamental completion rate (counts)")
+	burstScale := flag.Float64("burstscale", 0, "burst epoch time scale in seconds (counts)")
+	policy := flag.String("policy", "p95", "selection policy: p95 (closest 95th percentile) or maxlag1 (conservative)")
+	flag.Parse()
+
+	var m *markov.MAP
+	switch *route {
+	case "threepoint":
+		opts := markov.FitOptions{}
+		switch *policy {
+		case "p95":
+		case "maxlag1":
+			opts.Policy = markov.SelectMaxLag1
+		default:
+			return fmt.Errorf("unknown policy %q", *policy)
+		}
+		res, err := markov.FitThreePoint(*mean, *i, *p95, opts)
+		if err != nil {
+			return err
+		}
+		m = res.MAP
+		fmt.Printf("fit: SCV=%.4g gamma=%.4g achievedI=%.4g achievedP95=%.6g relErrP95=%.3g\n",
+			res.SCV, res.Gamma, res.AchievedI, res.AchievedP95, res.RelErrP95)
+	case "counts":
+		var err error
+		m, err = markov.FitMMPP2Counts(*rate, *i, *burstScale)
+		if err != nil {
+			return err
+		}
+		cd, err := m.Counting()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fit: rate=%.6g I=%.4g\n", cd.Rate, cd.I)
+	default:
+		return fmt.Errorf("unknown route %q", *route)
+	}
+
+	fmt.Println("D0 =")
+	fmt.Print(m.D0.String())
+	fmt.Println("D1 =")
+	fmt.Print(m.D1.String())
+	fmt.Printf("mean=%.6g SCV=%.4g rho1=%.4g", m.Mean(), m.SCV(), safeLag1(m))
+	if iAch, err := m.IndexOfDispersion(); err == nil {
+		fmt.Printf(" I=%.4g", iAch)
+	}
+	fmt.Println()
+	return nil
+}
+
+func safeLag1(m *markov.MAP) float64 {
+	defer func() { _ = recover() }()
+	return m.AutocorrelationLag(1)
+}

@@ -1,0 +1,60 @@
+// Command mtrace1 simulates the M/Trace/1 queue of Section 2: Poisson
+// arrivals into a FCFS server whose service times are replayed, in order,
+// from a trace read on stdin (one service time per line, e.g. the output
+// of burstgen).
+//
+// Usage:
+//
+//	burstgen -profile single | mtrace1 -lambda 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/queues"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtrace1:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lambda := flag.Float64("lambda", 0.5, "Poisson arrival rate")
+	seed := flag.Int64("seed", 1, "random seed for arrivals")
+	flag.Parse()
+
+	var tr trace.T
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return fmt.Errorf("bad sample %q: %w", line, err)
+		}
+		tr = append(tr, v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	res, err := queues.MTrace1(tr, *lambda, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jobs=%d lambda=%.4g util=%.3f meanResponse=%.4f p95Response=%.4f meanWait=%.4f\n",
+		res.Jobs, *lambda, res.Utilization, res.MeanResponse, res.P95Response, res.MeanWait)
+	return nil
+}

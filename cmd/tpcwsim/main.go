@@ -1,0 +1,87 @@
+// Command tpcwsim runs one TPC-W testbed simulation and prints the
+// headline metrics plus, optionally, the coarse monitoring streams as CSV
+// (consumable by the dispersion and capplan tools).
+//
+// Usage:
+//
+//	tpcwsim -mix browsing -ebs 100 -duration 1800
+//	tpcwsim -mix browsing -ebs 50 -z 7 -csv front > front.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tpcw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tpcwsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mixName := flag.String("mix", "browsing", "transaction mix: browsing, shopping or ordering")
+	ebs := flag.Int("ebs", 100, "number of emulated browsers")
+	z := flag.Float64("z", 0.5, "mean think time in seconds")
+	duration := flag.Float64("duration", 1800, "simulated seconds")
+	warmup := flag.Float64("warmup", 120, "warm-up seconds excluded from analysis")
+	cooldown := flag.Float64("cooldown", 60, "cool-down seconds excluded from analysis")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvTier := flag.String("csv", "", "emit monitoring CSV (utilization,completions) for tier: front or db")
+	flag.Parse()
+
+	var mix tpcw.Mix
+	switch *mixName {
+	case "browsing":
+		mix = tpcw.BrowsingMix()
+	case "shopping":
+		mix = tpcw.ShoppingMix()
+	case "ordering":
+		mix = tpcw.OrderingMix()
+	default:
+		return fmt.Errorf("unknown mix %q", *mixName)
+	}
+
+	res, err := tpcw.Run(tpcw.Config{
+		Mix: mix, EBs: *ebs, ThinkTime: *z, Seed: *seed,
+		Duration: *duration, Warmup: *warmup, Cooldown: *cooldown,
+	})
+	if err != nil {
+		return err
+	}
+
+	switch *csvTier {
+	case "":
+		fmt.Printf("mix=%s ebs=%d z=%.2fs duration=%.0fs\n", mix.Name, *ebs, *z, *duration)
+		fmt.Printf("throughput=%.2f tx/s  meanResponse=%.4fs  p95Response=%.4fs\n",
+			res.Throughput, res.MeanResponse, res.P95Response)
+		fmt.Printf("utilization front=%.3f db=%.3f\n", res.AvgUtilFront, res.AvgUtilDB)
+		fmt.Printf("contention fraction front=%.3f db=%.3f\n",
+			res.FrontContentionFraction, res.DBContentionFraction)
+		fmt.Println("per-type completions:")
+		for t := tpcw.Transaction(0); t < tpcw.NumTransactions; t++ {
+			fmt.Printf("  %-22v %8d (%.3f)\n", t, res.CompletedByType[t],
+				float64(res.CompletedByType[t])/float64(res.Completed))
+		}
+		return nil
+	case "front":
+		return emitCSV(res.FrontSamples.Utilization, res.FrontSamples.Completions)
+	case "db":
+		return emitCSV(res.DBSamples.Utilization, res.DBSamples.Completions)
+	default:
+		return fmt.Errorf("unknown tier %q (want front or db)", *csvTier)
+	}
+}
+
+func emitCSV(utils, completions []float64) error {
+	for i := range utils {
+		if _, err := fmt.Printf("%.6f,%.1f\n", utils[i], completions[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

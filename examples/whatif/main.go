@@ -1,0 +1,74 @@
+// What-if analysis — using the fitted model as a capacity oracle.
+//
+// Once a Plan is built from measurements, what-if questions cost a model
+// solve instead of a load test. This example answers two of them for a
+// bursty system:
+//
+//  1. "How many concurrent users can we serve before mean response time
+//     exceeds an SLA of 500 ms?" — with burstiness vs. the MVA answer.
+//  2. "What if user think time drops from 0.5 s to 0.25 s (more
+//     aggressive clients)?"
+//
+// Run with: go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	burst "repro"
+)
+
+const slaSeconds = 0.5
+
+func main() {
+	log.SetFlags(0)
+
+	// Stand-in for production measurements: characterizations of a
+	// front tier with mild burstiness and a DB tier with strong
+	// burstiness (the browsing-mix regime of the paper).
+	front := burst.Characterization{
+		MeanServiceTime:   0.0068,
+		IndexOfDispersion: 40,
+		P95ServiceTime:    0.021,
+	}
+	db := burst.Characterization{
+		MeanServiceTime:   0.0046,
+		IndexOfDispersion: 280,
+		P95ServiceTime:    0.019,
+	}
+
+	for _, z := range []float64{0.5, 0.25} {
+		plan, err := burst.NewPlanFromCharacterizations(front, db, z, burst.PlannerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== think time Z = %.2fs, SLA: mean response <= %.0f ms ===\n", z, 1e3*slaSeconds)
+		fmt.Printf("%5s %12s %12s %14s %14s\n", "EBs", "MAP TPUT", "MAP R(ms)", "MVA R(ms)", "verdict")
+
+		maxMAP, maxMVA := 0, 0
+		for _, n := range []int{10, 25, 50, 75, 100, 125, 150} {
+			preds, err := plan.Predict([]int{n})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := preds[0]
+			verdict := "OK"
+			if p.MAP.ResponseTime > slaSeconds {
+				verdict = "SLA violated"
+			} else {
+				maxMAP = n
+			}
+			if p.MVA.ResponseTime <= slaSeconds {
+				maxMVA = n
+			}
+			fmt.Printf("%5d %12.1f %12.1f %14.1f %14s\n",
+				n, p.MAP.Throughput, 1e3*p.MAP.ResponseTime, 1e3*p.MVA.ResponseTime, verdict)
+		}
+		fmt.Printf("capacity at SLA: %d EBs per the MAP model, %d per MVA\n", maxMAP, maxMVA)
+		if maxMVA > maxMAP {
+			fmt.Printf("-> MVA would overprovision by %d users: burstiness eats the headroom.\n", maxMVA-maxMAP)
+		}
+		fmt.Println()
+	}
+}

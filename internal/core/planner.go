@@ -1,0 +1,180 @@
+// Package core implements the paper's end-to-end capacity-planning
+// methodology: from coarse monitoring measurements of a multi-tier
+// system, build (1) the burstiness-aware MAP queueing network of
+// Section 4 and (2) the classical MVA baseline of Section 3.4, and
+// predict throughput, response time and utilizations as the number of
+// emulated browsers grows. This is the piece a practitioner would use:
+// feed it `sar`-style utilization samples and transaction counts for the
+// front and database tiers, get capacity predictions that remain accurate
+// under bursty workloads and bottleneck switch.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/inference"
+	"repro/internal/mapqn"
+	"repro/internal/markov"
+	"repro/internal/mva"
+	"repro/internal/trace"
+)
+
+// PlannerOptions tunes model construction.
+type PlannerOptions struct {
+	// Inference configures the measurement pipeline.
+	Inference inference.Options
+	// Fit configures the MAP(2) selection (paper Section 4.1).
+	Fit markov.FitOptions
+	// Solver configures the CTMC steady-state solver.
+	Solver ctmc.Options
+}
+
+// Plan is a parameterized capacity-planning model for a two-tier system.
+type Plan struct {
+	// Front and DB are the inferred service characterizations.
+	Front, DB inference.Characterization
+	// FrontFit and DBFit are the fitted MAP(2) service processes.
+	FrontFit, DBFit markov.FitResult
+	// ThinkTime is the think time Z_qn the model will be evaluated with.
+	ThinkTime float64
+
+	opts PlannerOptions
+}
+
+// BuildPlan runs the full Section 4 pipeline: characterize each tier from
+// its monitoring samples (mean, I, p95), then fit a MAP(2) per tier.
+// thinkTime is the Z_qn the resulting model will be evaluated at, which
+// may differ from the think time of the measured system (Z_estim) — the
+// paper exploits exactly this to improve estimation granularity (Fig. 11).
+func BuildPlan(front, db trace.UtilizationSamples, thinkTime float64, opts PlannerOptions) (*Plan, error) {
+	if thinkTime <= 0 {
+		return nil, fmt.Errorf("core: think time %v must be > 0", thinkTime)
+	}
+	fc, err := inference.Characterize(front, opts.Inference)
+	if err != nil {
+		return nil, fmt.Errorf("core: front tier: %w", err)
+	}
+	dc, err := inference.Characterize(db, opts.Inference)
+	if err != nil {
+		return nil, fmt.Errorf("core: db tier: %w", err)
+	}
+	return BuildPlanFromCharacterizations(fc, dc, thinkTime, opts)
+}
+
+// BuildPlanFromCharacterizations skips the measurement step, fitting
+// MAP(2)s directly from already-computed characterizations.
+func BuildPlanFromCharacterizations(front, db inference.Characterization, thinkTime float64, opts PlannerOptions) (*Plan, error) {
+	if thinkTime <= 0 {
+		return nil, fmt.Errorf("core: think time %v must be > 0", thinkTime)
+	}
+	if err := front.Validate(); err != nil {
+		return nil, fmt.Errorf("core: front characterization: %w", err)
+	}
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("core: db characterization: %w", err)
+	}
+	ff, err := markov.FitThreePoint(front.MeanServiceTime, front.IndexOfDispersion, front.P95ServiceTime, opts.Fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: front MAP fit: %w", err)
+	}
+	df, err := markov.FitThreePoint(db.MeanServiceTime, db.IndexOfDispersion, db.P95ServiceTime, opts.Fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: db MAP fit: %w", err)
+	}
+	return &Plan{
+		Front:     front,
+		DB:        db,
+		FrontFit:  ff,
+		DBFit:     df,
+		ThinkTime: thinkTime,
+		opts:      opts,
+	}, nil
+}
+
+// Prediction is the model output at one population level.
+type Prediction struct {
+	EBs int
+	// MAP holds the burstiness-aware model's metrics (the paper's
+	// "Model" series in Figs. 11-12).
+	MAP mapqn.Metrics
+	// MVA holds the baseline's metrics (the paper's "MVA" series).
+	MVA mva.Result
+}
+
+// Predict evaluates both models at each population level.
+func (p *Plan) Predict(populations []int) ([]Prediction, error) {
+	if len(populations) == 0 {
+		return nil, errors.New("core: no populations requested")
+	}
+	baseline := mva.Model(p.Front.MeanServiceTime, p.DB.MeanServiceTime, p.ThinkTime)
+	out := make([]Prediction, 0, len(populations))
+	for _, n := range populations {
+		if n < 1 {
+			return nil, fmt.Errorf("core: population %d must be >= 1", n)
+		}
+		met, err := mapqn.Solve(mapqn.Model{
+			Front:     p.FrontFit.MAP,
+			DB:        p.DBFit.MAP,
+			ThinkTime: p.ThinkTime,
+			Customers: n,
+		}, p.opts.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("core: MAP model at %d EBs: %w", n, err)
+		}
+		base, err := mva.Solve(baseline, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: MVA at %d EBs: %w", n, err)
+		}
+		out = append(out, Prediction{EBs: n, MAP: met, MVA: base})
+	}
+	return out, nil
+}
+
+// Accuracy compares predicted against measured throughput, returning the
+// relative errors of the MAP model and the MVA baseline — the error bars
+// the paper reports in Figs. 10-12.
+type Accuracy struct {
+	EBs              int
+	Measured         float64
+	MAPPredicted     float64
+	MVAPredicted     float64
+	MAPRelativeError float64
+	MVARelativeError float64
+}
+
+// Compare evaluates both models against measured throughputs.
+// populations and measured must have equal lengths.
+func (p *Plan) Compare(populations []int, measured []float64) ([]Accuracy, error) {
+	if len(populations) != len(measured) {
+		return nil, fmt.Errorf("core: %d populations vs %d measurements", len(populations), len(measured))
+	}
+	preds, err := p.Predict(populations)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Accuracy, len(preds))
+	for i, pr := range preds {
+		if measured[i] <= 0 {
+			return nil, fmt.Errorf("core: measured throughput %v at %d EBs invalid", measured[i], pr.EBs)
+		}
+		out[i] = Accuracy{
+			EBs:              pr.EBs,
+			Measured:         measured[i],
+			MAPPredicted:     pr.MAP.Throughput,
+			MVAPredicted:     pr.MVA.Throughput,
+			MAPRelativeError: relErr(pr.MAP.Throughput, measured[i]),
+			MVARelativeError: relErr(pr.MVA.Throughput, measured[i]),
+		}
+	}
+	return out, nil
+}
+
+func relErr(pred, actual float64) float64 {
+	d := pred - actual
+	if d < 0 {
+		d = -d
+	}
+	return d / actual
+}

@@ -1,0 +1,91 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Transient computes the state distribution at time t of a CTMC started
+// from pi0, using uniformization (Jensen's method):
+//
+//	pi(t) = sum_k Poisson(Lambda*t; k) * pi0 * P^k,  P = I + Q/Lambda.
+//
+// The series is truncated once the accumulated Poisson mass exceeds
+// 1 - tol. Transient solutions answer warm-up questions the stationary
+// analysis cannot: how long after a contention epoch does the queue
+// distribution settle?
+func Transient(q *matrix.CSR, pi0 []float64, t, tol float64) ([]float64, error) {
+	if len(pi0) != q.N {
+		return nil, fmt.Errorf("ctmc: initial vector length %d, chain dimension %d", len(pi0), q.N)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: time %v must be >= 0", t)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	sum := 0.0
+	for _, v := range pi0 {
+		if v < 0 {
+			return nil, errors.New("ctmc: initial vector has negative entries")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("ctmc: initial vector sums to %v, want 1", sum)
+	}
+	if t == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	lambda := q.MaxAbsDiag() * 1.02
+	if lambda == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	qt := q.Transpose()
+	// current = pi0 * P^k, accumulated into result with Poisson weights.
+	current := append([]float64(nil), pi0...)
+	next := make([]float64, q.N)
+	result := make([]float64, q.N)
+	// Poisson(Lambda t) weights computed iteratively.
+	lt := lambda * t
+	logW := -lt // log of Poisson(k=0) weight
+	accMass := 0.0
+	maxK := int(lt + 20*math.Sqrt(lt) + 50)
+	for k := 0; k <= maxK; k++ {
+		w := math.Exp(logW)
+		if w > 0 {
+			for i := range result {
+				result[i] += w * current[i]
+			}
+			accMass += w
+		}
+		if accMass >= 1-tol {
+			break
+		}
+		// Advance: current = current * P = current + (current*Q)/Lambda.
+		qt.MulVecTo(next, current)
+		for i := range next {
+			next[i] = current[i] + next[i]/lambda
+			if next[i] < 0 {
+				next[i] = 0 // numerical guard
+			}
+		}
+		current, next = next, current
+		logW += math.Log(lt) - math.Log(float64(k+1))
+	}
+	// Normalize for the truncated tail.
+	norm := 0.0
+	for _, v := range result {
+		norm += v
+	}
+	if norm <= 0 {
+		return nil, errors.New("ctmc: transient mass vanished (numerical failure)")
+	}
+	for i := range result {
+		result[i] /= norm
+	}
+	return result, nil
+}

@@ -1,0 +1,151 @@
+// Package des is a small discrete-event simulation kernel: an event
+// calendar plus queueing-station building blocks (processor sharing,
+// FCFS, delay) sufficient to simulate the paper's testbed — closed-loop
+// clients over a two-tier server pipeline — and the single-queue
+// experiments of Section 2.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing; events fire in (time, scheduling order) sequence.
+type Event struct {
+	time     float64
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Time returns the scheduled fire time.
+func (e *Event) Time() float64 { return e.time }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulation executive. The zero value is not usable;
+// construct with NewSim.
+type Sim struct {
+	now    float64
+	events eventHeap
+	seq    int64
+	fired  int64
+}
+
+// NewSim returns a simulation starting at time 0.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// EventsFired returns the number of events executed so far.
+func (s *Sim) EventsFired() int64 { return s.fired }
+
+// Schedule registers fn to run after delay seconds. A negative delay
+// panics: it indicates a simulation logic bug.
+func (s *Sim) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: negative or NaN delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute time t >= Now().
+func (s *Sim) ScheduleAt(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// RunUntil executes events in order until the calendar is empty or the
+// next event is after t; the clock is left at min(t, last event time).
+func (s *Sim) RunUntil(t float64) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.time > t {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.canceled {
+			continue
+		}
+		s.now = next.time
+		s.fired++
+		next.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Drain executes every remaining event; the clock ends at the time of the
+// last event fired (unlike RunUntil, which advances the clock to the
+// horizon even when idle).
+func (s *Sim) Drain() {
+	for s.Step() {
+	}
+}
+
+// Step executes exactly one pending (non-canceled) event, returning false
+// if the calendar is empty.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		next := heap.Pop(&s.events).(*Event)
+		if next.canceled {
+			continue
+		}
+		s.now = next.time
+		s.fired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of events in the calendar, including
+// canceled-but-unpopped entries.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,358 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired out of order: %v", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %v, want 10", s.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.RunUntil(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	e.Cancel()
+	s.RunUntil(5)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	var nilEvent *Event
+	nilEvent.Cancel() // must not panic
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Schedule(5, func() { fired++ })
+	s.RunUntil(3)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3", s.Now())
+	}
+	s.RunUntil(6)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 after extending horizon", fired)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := NewSim()
+	count := 0
+	s.Schedule(1, func() { count++ })
+	s.Schedule(2, func() { count++ })
+	if !s.Step() || count != 1 {
+		t.Error("first Step should fire exactly one event")
+	}
+	if !s.Step() || count != 2 {
+		t.Error("second Step should fire the second event")
+	}
+	if s.Step() {
+		t.Error("Step on empty calendar should return false")
+	}
+}
+
+func TestScheduleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	NewSim().Schedule(-1, func() {})
+}
+
+func TestScheduleChained(t *testing.T) {
+	// Events scheduled by events run in the same RunUntil.
+	s := NewSim()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 10 {
+			s.Schedule(0.5, recurse)
+		}
+	}
+	s.Schedule(0, recurse)
+	s.RunUntil(100)
+	if depth != 10 {
+		t.Errorf("depth = %d, want 10", depth)
+	}
+	if s.EventsFired() != 10 {
+		t.Errorf("EventsFired = %d, want 10", s.EventsFired())
+	}
+}
+
+func TestFCFSSingleJob(t *testing.T) {
+	s := NewSim()
+	var doneAt float64
+	st := NewFCFSStation(s, "q", func(j *Job) { doneAt = s.Now() })
+	st.Arrive(&Job{ID: 1, Demand: 2.5})
+	s.RunUntil(10)
+	if doneAt != 2.5 {
+		t.Errorf("completion at %v, want 2.5", doneAt)
+	}
+	if st.Completions() != 1 || st.QueueLen() != 0 {
+		t.Errorf("completions = %d, queue = %d", st.Completions(), st.QueueLen())
+	}
+	if math.Abs(st.BusyTime()-2.5) > 1e-12 {
+		t.Errorf("busy time = %v, want 2.5", st.BusyTime())
+	}
+}
+
+func TestFCFSOrderPreserved(t *testing.T) {
+	s := NewSim()
+	var done []int64
+	st := NewFCFSStation(s, "q", func(j *Job) { done = append(done, j.ID) })
+	for i := int64(1); i <= 5; i++ {
+		st.Arrive(&Job{ID: i, Demand: 1})
+	}
+	s.RunUntil(100)
+	if !sort.SliceIsSorted(done, func(i, j int) bool { return done[i] < done[j] }) {
+		t.Errorf("FCFS completions out of order: %v", done)
+	}
+	// Serial service: total busy time = 5.
+	if math.Abs(st.BusyTime()-5) > 1e-12 {
+		t.Errorf("busy time = %v, want 5", st.BusyTime())
+	}
+}
+
+func TestPSSingleJobMatchesFCFS(t *testing.T) {
+	s := NewSim()
+	var doneAt float64
+	st := NewPSStation(s, "ps", func(j *Job) { doneAt = s.Now() })
+	st.Arrive(&Job{ID: 1, Demand: 3})
+	s.RunUntil(10)
+	if math.Abs(doneAt-3) > 1e-9 {
+		t.Errorf("completion at %v, want 3", doneAt)
+	}
+}
+
+func TestPSEqualSharing(t *testing.T) {
+	// Two identical jobs arriving together each get half the server:
+	// both complete at 2*demand.
+	s := NewSim()
+	var times []float64
+	st := NewPSStation(s, "ps", func(j *Job) { times = append(times, s.Now()) })
+	st.Arrive(&Job{ID: 1, Demand: 1})
+	st.Arrive(&Job{ID: 2, Demand: 1})
+	s.RunUntil(10)
+	if len(times) != 2 {
+		t.Fatalf("completions = %d, want 2", len(times))
+	}
+	for _, at := range times {
+		if math.Abs(at-2) > 1e-9 {
+			t.Errorf("completion at %v, want 2", at)
+		}
+	}
+}
+
+func TestPSShortJobOvertakes(t *testing.T) {
+	// PS lets a short job finish before an earlier long job.
+	s := NewSim()
+	var first int64
+	st := NewPSStation(s, "ps", func(j *Job) {
+		if first == 0 {
+			first = j.ID
+		}
+	})
+	st.Arrive(&Job{ID: 1, Demand: 10})
+	s.Schedule(1, func() { st.Arrive(&Job{ID: 2, Demand: 0.5}) })
+	s.RunUntil(50)
+	if first != 2 {
+		t.Errorf("first completion = job %d, want job 2 (short)", first)
+	}
+	if st.Completions() != 2 {
+		t.Errorf("completions = %d, want 2", st.Completions())
+	}
+}
+
+func TestPSCompletionTimesKnown(t *testing.T) {
+	// Job A (demand 2) at t=0; job B (demand 2) at t=1.
+	// 0..1: A alone, A remaining 1. 1..3: shared, each +1 work => A done
+	// at t=3. B then alone with 1 left at t=3: done at t=4.
+	s := NewSim()
+	done := map[int64]float64{}
+	st := NewPSStation(s, "ps", func(j *Job) { done[j.ID] = s.Now() })
+	st.Arrive(&Job{ID: 1, Demand: 2})
+	s.Schedule(1, func() { st.Arrive(&Job{ID: 2, Demand: 2}) })
+	s.RunUntil(50)
+	if math.Abs(done[1]-3) > 1e-9 {
+		t.Errorf("job1 done at %v, want 3", done[1])
+	}
+	if math.Abs(done[2]-4) > 1e-9 {
+		t.Errorf("job2 done at %v, want 4", done[2])
+	}
+	if math.Abs(st.BusyTime()-4) > 1e-9 {
+		t.Errorf("busy time = %v, want 4", st.BusyTime())
+	}
+}
+
+func TestPSSpeedChange(t *testing.T) {
+	// One job, demand 2, speed halved at t=1: finishes 1 + 1/0.5 = 3.
+	s := NewSim()
+	var doneAt float64
+	st := NewPSStation(s, "ps", func(j *Job) { doneAt = s.Now() })
+	st.Arrive(&Job{ID: 1, Demand: 2})
+	s.Schedule(1, func() { st.SetSpeed(0.5) })
+	s.RunUntil(50)
+	if math.Abs(doneAt-3) > 1e-9 {
+		t.Errorf("completion at %v, want 3", doneAt)
+	}
+	if st.Speed() != 0.5 {
+		t.Errorf("speed = %v, want 0.5", st.Speed())
+	}
+}
+
+func TestPSZeroSpeedPausesService(t *testing.T) {
+	s := NewSim()
+	var doneAt float64
+	st := NewPSStation(s, "ps", func(j *Job) { doneAt = s.Now() })
+	st.Arrive(&Job{ID: 1, Demand: 1})
+	s.Schedule(0.5, func() { st.SetSpeed(0) })
+	s.Schedule(2.5, func() { st.SetSpeed(1) })
+	s.RunUntil(50)
+	// 0.5 done before pause, 0.5 after resume: completes at 3.
+	if math.Abs(doneAt-3) > 1e-9 {
+		t.Errorf("completion at %v, want 3", doneAt)
+	}
+}
+
+func TestPSInvalidDemandPanics(t *testing.T) {
+	s := NewSim()
+	st := NewPSStation(s, "ps", func(*Job) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive demand")
+		}
+	}()
+	st.Arrive(&Job{ID: 1, Demand: 0})
+}
+
+func TestMM1SimulationMatchesTheory(t *testing.T) {
+	// M/M/1 with rho = 0.7: mean response = 1/(mu-lambda), util = rho.
+	lambda, mu := 0.7, 1.0
+	s := NewSim()
+	src := xrand.New(99)
+	var resp stats.Accumulator
+	st := NewFCFSStation(s, "q", func(j *Job) {
+		resp.Add(s.Now() - j.Ctx.(float64))
+	})
+	var arrive func()
+	arrive = func() {
+		st.Arrive(&Job{ID: 1, Demand: src.Exp(1 / mu), Ctx: s.Now()})
+		s.Schedule(src.Exp(1/lambda), arrive)
+	}
+	s.Schedule(src.Exp(1/lambda), arrive)
+	s.RunUntil(300000)
+	wantR := 1 / (mu - lambda)
+	if math.Abs(resp.Mean()-wantR) > 0.1*wantR {
+		t.Errorf("M/M/1 mean response = %v, want ~%v", resp.Mean(), wantR)
+	}
+	util := st.BusyTime() / s.Now()
+	if math.Abs(util-0.7) > 0.02 {
+		t.Errorf("M/M/1 utilization = %v, want ~0.7", util)
+	}
+}
+
+func TestMM1PSMatchesTheory(t *testing.T) {
+	// M/M/1-PS has the same mean response time as M/M/1-FCFS.
+	lambda, mu := 0.6, 1.0
+	s := NewSim()
+	src := xrand.New(123)
+	var resp stats.Accumulator
+	var st *PSStation
+	st = NewPSStation(s, "ps", func(j *Job) {
+		resp.Add(s.Now() - j.Ctx.(float64))
+	})
+	var arrive func()
+	arrive = func() {
+		st.Arrive(&Job{Demand: src.Exp(1 / mu), Ctx: s.Now()})
+		s.Schedule(src.Exp(1/lambda), arrive)
+	}
+	s.Schedule(src.Exp(1/lambda), arrive)
+	s.RunUntil(200000)
+	wantR := 1 / (mu - lambda)
+	if math.Abs(resp.Mean()-wantR) > 0.1*wantR {
+		t.Errorf("M/M/1-PS mean response = %v, want ~%v", resp.Mean(), wantR)
+	}
+}
+
+// Property: PS work conservation — with unit speed, total busy time equals
+// total completed demand when the station empties.
+func TestPropPSWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		s := NewSim()
+		total := 0.0
+		st := NewPSStation(s, "ps", func(*Job) {})
+		n := 1 + src.Intn(40)
+		for i := 0; i < n; i++ {
+			d := 0.01 + src.Float64()
+			total += d
+			at := src.Float64() * 5
+			j := &Job{ID: int64(i), Demand: d}
+			s.Schedule(at, func() { st.Arrive(j) })
+		}
+		s.RunUntil(1e6)
+		return st.QueueLen() == 0 &&
+			st.Completions() == int64(n) &&
+			math.Abs(st.BusyTime()-total) < 1e-6*total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FCFS response time of k-th of k simultaneous unit jobs is k.
+func TestPropFCFSSerialization(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		k := 1 + src.Intn(20)
+		s := NewSim()
+		var last float64
+		st := NewFCFSStation(s, "q", func(j *Job) { last = s.Now() })
+		for i := 0; i < k; i++ {
+			st.Arrive(&Job{ID: int64(i), Demand: 1})
+		}
+		s.RunUntil(1e5)
+		return math.Abs(last-float64(k)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// Job is a unit of work flowing through stations. Class identifies the
+// transaction type (for per-type monitoring); Demand is the total service
+// requirement in seconds at nominal speed.
+type Job struct {
+	ID      int64
+	Class   int
+	Demand  float64
+	Arrived float64 // time the job entered the current station
+
+	remaining float64
+	// Ctx carries caller-defined state (e.g., the client session driving
+	// this job) through station callbacks.
+	Ctx any
+}
+
+// Station is the common interface of service stations.
+type Station interface {
+	// Arrive submits a job to the station.
+	Arrive(j *Job)
+	// QueueLen returns the number of jobs present (waiting or in service).
+	QueueLen() int
+	// BusyTime returns cumulative time the station was non-idle.
+	BusyTime() float64
+	// Completions returns the cumulative number of completed jobs.
+	Completions() int64
+}
+
+const completionEpsilon = 1e-12
+
+// PSStation is an egalitarian processor-sharing server: with n jobs
+// present each receives speed/n of the server. Speed can be changed at
+// runtime (SetSpeed), which is how the TPC-W simulator injects
+// Markov-modulated contention slowdowns at the database tier.
+type PSStation struct {
+	Name string
+
+	sim        *Sim
+	jobs       []*Job
+	speed      float64
+	lastUpdate float64
+	pending    *Event
+	onComplete func(*Job)
+
+	busyTime    float64
+	completions int64
+}
+
+// NewPSStation builds a processor-sharing station; onComplete is invoked
+// for every finished job (it may route the job elsewhere).
+func NewPSStation(sim *Sim, name string, onComplete func(*Job)) *PSStation {
+	if sim == nil || onComplete == nil {
+		panic("des: PSStation needs a sim and a completion callback")
+	}
+	return &PSStation{Name: name, sim: sim, speed: 1, onComplete: onComplete}
+}
+
+// advance progresses attained service to the current instant.
+func (st *PSStation) advance() {
+	now := st.sim.Now()
+	dt := now - st.lastUpdate
+	st.lastUpdate = now
+	if dt <= 0 || len(st.jobs) == 0 {
+		return
+	}
+	st.busyTime += dt
+	each := dt * st.speed / float64(len(st.jobs))
+	for _, j := range st.jobs {
+		j.remaining -= each
+	}
+}
+
+// reschedule plans the next completion event.
+func (st *PSStation) reschedule() {
+	st.pending.Cancel()
+	st.pending = nil
+	if len(st.jobs) == 0 || st.speed <= 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, j := range st.jobs {
+		if j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	delay := minRem * float64(len(st.jobs)) / st.speed
+	st.pending = st.sim.Schedule(delay, st.complete)
+}
+
+// Arrive submits a job; its remaining work is initialized from Demand.
+func (st *PSStation) Arrive(j *Job) {
+	if j.Demand <= 0 || math.IsNaN(j.Demand) {
+		panic(fmt.Sprintf("des: job %d has invalid demand %v", j.ID, j.Demand))
+	}
+	st.advance()
+	j.remaining = j.Demand
+	j.Arrived = st.sim.Now()
+	st.jobs = append(st.jobs, j)
+	st.reschedule()
+}
+
+// complete fires when the job with least remaining work finishes.
+func (st *PSStation) complete() {
+	st.pending = nil
+	st.advance()
+	// Pop every job whose remaining work is (numerically) exhausted;
+	// simultaneous completions are possible after speed changes.
+	var done []*Job
+	kept := st.jobs[:0]
+	for _, j := range st.jobs {
+		if j.remaining <= completionEpsilon {
+			done = append(done, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	st.jobs = kept
+	if len(done) == 0 {
+		// Numerical drift: force the minimum-remaining job out.
+		minIdx := 0
+		for i, j := range st.jobs {
+			if j.remaining < st.jobs[minIdx].remaining {
+				minIdx = i
+			}
+		}
+		j := st.jobs[minIdx]
+		st.jobs = append(st.jobs[:minIdx], st.jobs[minIdx+1:]...)
+		done = append(done, j)
+	}
+	st.reschedule()
+	for _, j := range done {
+		st.completions++
+		st.onComplete(j)
+	}
+}
+
+// SetSpeed changes the service speed multiplier (1 = nominal). Attained
+// service is advanced under the old speed first.
+func (st *PSStation) SetSpeed(f float64) {
+	if f < 0 || math.IsNaN(f) {
+		panic(fmt.Sprintf("des: invalid speed %v", f))
+	}
+	st.advance()
+	st.speed = f
+	st.reschedule()
+}
+
+// Speed returns the current speed multiplier.
+func (st *PSStation) Speed() float64 { return st.speed }
+
+// QueueLen returns the number of jobs at the station.
+func (st *PSStation) QueueLen() int { return len(st.jobs) }
+
+// BusyTime returns cumulative non-idle time up to the current instant.
+func (st *PSStation) BusyTime() float64 {
+	st.advance()
+	return st.busyTime
+}
+
+// Completions returns the number of jobs completed so far.
+func (st *PSStation) Completions() int64 { return st.completions }
+
+// FCFSStation is a single-server first-come-first-served queue.
+type FCFSStation struct {
+	Name string
+
+	sim        *Sim
+	queue      []*Job
+	inService  *Job
+	pending    *Event
+	onComplete func(*Job)
+	serveStart float64
+
+	busyTime    float64
+	completions int64
+}
+
+// NewFCFSStation builds a FCFS station.
+func NewFCFSStation(sim *Sim, name string, onComplete func(*Job)) *FCFSStation {
+	if sim == nil || onComplete == nil {
+		panic("des: FCFSStation needs a sim and a completion callback")
+	}
+	return &FCFSStation{Name: name, sim: sim, onComplete: onComplete}
+}
+
+// Arrive enqueues a job, starting service immediately if idle.
+func (st *FCFSStation) Arrive(j *Job) {
+	if j.Demand <= 0 || math.IsNaN(j.Demand) {
+		panic(fmt.Sprintf("des: job %d has invalid demand %v", j.ID, j.Demand))
+	}
+	j.Arrived = st.sim.Now()
+	st.queue = append(st.queue, j)
+	if st.inService == nil {
+		st.startNext()
+	}
+}
+
+func (st *FCFSStation) startNext() {
+	if len(st.queue) == 0 {
+		st.inService = nil
+		return
+	}
+	st.inService = st.queue[0]
+	st.queue = st.queue[1:]
+	st.serveStart = st.sim.Now()
+	st.pending = st.sim.Schedule(st.inService.Demand, st.complete)
+}
+
+func (st *FCFSStation) complete() {
+	j := st.inService
+	st.busyTime += st.sim.Now() - st.serveStart
+	st.completions++
+	st.startNext()
+	st.onComplete(j)
+}
+
+// QueueLen returns the number of jobs waiting or in service.
+func (st *FCFSStation) QueueLen() int {
+	n := len(st.queue)
+	if st.inService != nil {
+		n++
+	}
+	return n
+}
+
+// BusyTime returns cumulative non-idle time (including the in-progress
+// service up to the current instant).
+func (st *FCFSStation) BusyTime() float64 {
+	b := st.busyTime
+	if st.inService != nil {
+		b += st.sim.Now() - st.serveStart
+	}
+	return b
+}
+
+// Completions returns the number of jobs completed so far.
+func (st *FCFSStation) Completions() int64 { return st.completions }
+
+// Interface conformance.
+var (
+	_ Station = (*PSStation)(nil)
+	_ Station = (*FCFSStation)(nil)
+)

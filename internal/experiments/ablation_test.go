@@ -1,0 +1,110 @@
+package experiments
+
+import "testing"
+
+func TestAblationIdleSemantics(t *testing.T) {
+	rows, err := AblationIdleSemantics(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("EB=%3d frozen=%7.2f free-running=%7.2f diff=%.2f%%",
+			r.EBs, r.FrozenX, r.FreeRunningX, 100*r.RelDifference)
+		if r.FrozenX <= 0 || r.FreeRunningX <= 0 {
+			t.Errorf("EB=%d: non-positive throughput", r.EBs)
+		}
+		// Both are exact solutions of closely related chains: the
+		// semantics choice must not change throughput wildly.
+		if r.RelDifference > 0.5 {
+			t.Errorf("EB=%d: semantics difference %.0f%% implausibly large", r.EBs, 100*r.RelDifference)
+		}
+	}
+}
+
+func TestAblationSelectionPolicy(t *testing.T) {
+	rows, err := AblationSelectionPolicy(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("EB=%3d closest-p95=%7.2f max-lag1=%7.2f conservative=%v",
+			r.EBs, r.ClosestP95X, r.MaxLag1X, r.Conservative)
+		// Footnote 8's rationale: the max-lag1 pick is the conservative
+		// capacity estimate.
+		if !r.Conservative {
+			t.Errorf("EB=%d: max-lag1 policy predicted more throughput (%v > %v)",
+				r.EBs, r.MaxLag1X, r.ClosestP95X)
+		}
+	}
+}
+
+func TestAblationP95Bias(t *testing.T) {
+	rows, err := AblationP95Bias(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("I=%7.1f trueP95=%.4f estimate=%.4f bias=%.0f%%",
+			r.TrueI, r.TrueP95, r.EstimatedP95, 100*r.RelBias)
+	}
+	// The estimator is designed for bursty processes: the most bursty
+	// case must be estimated more accurately than the renewal case.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.RelBias > first.RelBias {
+		t.Errorf("bias should shrink with burstiness: I=%.0f bias %.2f vs I=%.0f bias %.2f",
+			first.TrueI, first.RelBias, last.TrueI, last.RelBias)
+	}
+	if last.RelBias > 0.6 {
+		t.Errorf("high-I p95 bias = %.0f%%, want usable estimate", 100*last.RelBias)
+	}
+}
+
+func TestAblationGranularityRecovery(t *testing.T) {
+	rows, err := AblationGranularityRecovery(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("jobs/window=%5.0f trueI=%.0f estimate=%.0f err=%.0f%%",
+			r.JobsPerWindow, r.TrueI, r.EstimatedI, 100*r.RelError)
+	}
+	// The Figure 2 estimator recovers the analytic I within a modest
+	// factor at every granularity. (The end-to-end Zestim benefit of
+	// Fig. 11 comes mostly through the p95 estimator — see
+	// TestAblationP95Bias — rather than through I recovery itself.)
+	for _, r := range rows {
+		if r.RelError > 0.45 {
+			t.Errorf("jobs/window=%.0f: I recovery error %.0f%% too large",
+				r.JobsPerWindow, 100*r.RelError)
+		}
+	}
+}
+
+func TestAblationBurstinessSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is expensive")
+	}
+	rows, err := AblationBurstinessSweep(9, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("p=%.4f I_db=%6.1f measured=%6.1f MVA=%6.1f err=%.1f%%",
+			r.TriggerProbability, r.IDB, r.MeasuredX, r.MVAX, 100*r.MVAErr)
+	}
+	// MVA must be accurate without contention and fail as it grows.
+	if rows[0].MVAErr > 0.15 {
+		t.Errorf("MVA error without contention = %.0f%%, want small", 100*rows[0].MVAErr)
+	}
+	last := rows[len(rows)-1]
+	if last.MVAErr < 2*rows[0].MVAErr {
+		t.Errorf("MVA error should grow with contention: %.2f -> %.2f",
+			rows[0].MVAErr, last.MVAErr)
+	}
+}

@@ -1,0 +1,123 @@
+// Package inference turns coarse monitoring data into the paper's
+// three-parameter service characterization: mean service time, index of
+// dispersion, and 95th percentile of service times (Section 4.1). It is
+// the measurement half of the methodology; package core feeds its output
+// into the MAP(2) fitting and the queueing model.
+package inference
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Characterization is the paper's compact description of one server's
+// service process, inferred purely from utilization and completion
+// measurements.
+type Characterization struct {
+	// MeanServiceTime is the per-request mean service demand (seconds),
+	// from the utilization law.
+	MeanServiceTime float64
+	// IndexOfDispersion is the estimate of I from the Figure 2 algorithm.
+	IndexOfDispersion float64
+	// P95ServiceTime is the busy-period-based 95th-percentile estimate.
+	P95ServiceTime float64
+	// Converged reports whether the I estimation formally converged
+	// (false: the last stable value was used, as an operator would).
+	Converged bool
+	// WindowSeconds is the busy-time window at which I was taken.
+	WindowSeconds float64
+	// Samples is the number of measurement periods used.
+	Samples int
+	// MeanUtilization is the average measured utilization, a sanity
+	// indicator (estimates from a nearly idle server are fragile).
+	MeanUtilization float64
+}
+
+// Options tunes the characterization.
+type Options struct {
+	// Dispersion configures the Figure 2 estimator.
+	Dispersion trace.DispersionOptions
+}
+
+// Characterize runs the full Section 4.1 estimation pipeline on one
+// server's monitoring data.
+func Characterize(samples trace.UtilizationSamples, opts Options) (Characterization, error) {
+	if err := samples.Validate(); err != nil {
+		return Characterization{}, err
+	}
+	mean, err := samples.MeanServiceTime()
+	if err != nil {
+		return Characterization{}, fmt.Errorf("inference: mean service time: %w", err)
+	}
+	disp, err := samples.EstimateIndexOfDispersion(opts.Dispersion)
+	if err != nil {
+		return Characterization{}, fmt.Errorf("inference: index of dispersion: %w", err)
+	}
+	p95, err := samples.Percentile95ServiceTime()
+	if err != nil {
+		return Characterization{}, fmt.Errorf("inference: 95th percentile: %w", err)
+	}
+	return Characterization{
+		MeanServiceTime:   mean,
+		IndexOfDispersion: disp.I,
+		P95ServiceTime:    p95,
+		Converged:         disp.Converged,
+		WindowSeconds:     disp.WindowSeconds,
+		Samples:           len(samples.Utilization),
+		MeanUtilization:   stats.Mean(samples.Utilization),
+	}, nil
+}
+
+// Validate sanity-checks a characterization before it is used for
+// fitting.
+func (c Characterization) Validate() error {
+	if c.MeanServiceTime <= 0 || math.IsNaN(c.MeanServiceTime) {
+		return fmt.Errorf("inference: mean service time %v invalid", c.MeanServiceTime)
+	}
+	if c.IndexOfDispersion <= 0 || math.IsNaN(c.IndexOfDispersion) {
+		return fmt.Errorf("inference: index of dispersion %v invalid", c.IndexOfDispersion)
+	}
+	if c.P95ServiceTime < 0 || math.IsNaN(c.P95ServiceTime) {
+		return fmt.Errorf("inference: p95 %v invalid", c.P95ServiceTime)
+	}
+	return nil
+}
+
+// DemandRegression estimates the mean service demand by ordinary
+// least-squares regression of utilization samples against per-second
+// completion throughput (the utilization law U = S*X + U0), the approach
+// of [Zhang et al., Middleware'07] cited by the paper for MVA
+// parameterization. It complements Characterize's ratio estimator and is
+// more robust when background utilization is present.
+type DemandRegression struct {
+	// Demand is the estimated mean service time (regression slope).
+	Demand float64
+	// Background is the intercept (utilization not explained by the
+	// monitored completions).
+	Background float64
+	// R2 is the goodness of fit.
+	R2 float64
+}
+
+// EstimateDemand regresses utilization on throughput.
+func EstimateDemand(samples trace.UtilizationSamples) (DemandRegression, error) {
+	if err := samples.Validate(); err != nil {
+		return DemandRegression{}, err
+	}
+	x := make([]float64, len(samples.Completions))
+	for i, c := range samples.Completions {
+		x[i] = c / samples.PeriodSeconds
+	}
+	fit, err := stats.OLS(x, samples.Utilization)
+	if err != nil {
+		return DemandRegression{}, fmt.Errorf("inference: utilization-law regression: %w", err)
+	}
+	if fit.Slope <= 0 {
+		return DemandRegression{}, errors.New("inference: regression produced non-positive demand")
+	}
+	return DemandRegression{Demand: fit.Slope, Background: fit.Intercept, R2: fit.R2}, nil
+}

@@ -1,0 +1,159 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// monitoredMAP builds synthetic monitoring data by replaying a MAP-
+// generated service trace through a fully busy server split into fixed
+// sampling periods.
+func monitoredMAP(m *markov.MAP, n int, period float64, seed int64) trace.UtilizationSamples {
+	tr := m.Sample(n, xrand.New(seed))
+	u := trace.UtilizationSamples{PeriodSeconds: period}
+	cum, count := 0.0, 0.0
+	boundary := period
+	for _, s := range tr {
+		cum += s
+		count++
+		for cum >= boundary {
+			u.Utilization = append(u.Utilization, 1.0)
+			u.Completions = append(u.Completions, count)
+			count = 0
+			boundary += period
+		}
+	}
+	return u
+}
+
+func TestCharacterizeRecoversKnownProcess(t *testing.T) {
+	// Ground truth: a MAP(2) with known descriptors; the pipeline must
+	// recover mean exactly and I within a factor ~2 (the estimator works
+	// from coarse windows, as in the paper).
+	h, err := markov.BalancedH2(0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := markov.CorrelatedH2(h, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iTrue, _ := truth.IndexOfDispersion()
+	samples := monitoredMAP(truth, 300000, 0.5, 42)
+	c, err := Characterize(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.MeanServiceTime-0.01) > 0.001 {
+		t.Errorf("mean = %v, want ~0.01", c.MeanServiceTime)
+	}
+	ratio := c.IndexOfDispersion / iTrue
+	t.Logf("I estimated %.1f vs true %.1f", c.IndexOfDispersion, iTrue)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("I = %v vs true %v (ratio %v)", c.IndexOfDispersion, iTrue, ratio)
+	}
+	if c.P95ServiceTime <= 0 {
+		t.Errorf("p95 = %v, want positive", c.P95ServiceTime)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("characterization invalid: %v", err)
+	}
+	if c.Samples != len(samples.Utilization) {
+		t.Errorf("Samples = %d, want %d", c.Samples, len(samples.Utilization))
+	}
+}
+
+func TestCharacterizePoissonServiceHasLowI(t *testing.T) {
+	samples := monitoredMAP(markov.Poisson(100), 200000, 0.5, 7)
+	c, err := Characterize(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IndexOfDispersion > 2 {
+		t.Errorf("I for exponential service = %v, want ~1", c.IndexOfDispersion)
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	if _, err := Characterize(trace.UtilizationSamples{}, Options{}); err == nil {
+		t.Error("expected error for empty samples")
+	}
+	short := trace.UtilizationSamples{
+		PeriodSeconds: 5,
+		Utilization:   []float64{0.5, 0.6},
+		Completions:   []float64{10, 12},
+	}
+	if _, err := Characterize(short, Options{}); err == nil {
+		t.Error("expected error for too-short measurement")
+	}
+}
+
+func TestCharacterizationValidate(t *testing.T) {
+	good := Characterization{MeanServiceTime: 0.01, IndexOfDispersion: 5, P95ServiceTime: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid characterization rejected: %v", err)
+	}
+	bad := []Characterization{
+		{MeanServiceTime: 0, IndexOfDispersion: 5, P95ServiceTime: 0.05},
+		{MeanServiceTime: 0.01, IndexOfDispersion: 0, P95ServiceTime: 0.05},
+		{MeanServiceTime: 0.01, IndexOfDispersion: 5, P95ServiceTime: -1},
+		{MeanServiceTime: math.NaN(), IndexOfDispersion: 5, P95ServiceTime: 0.05},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEstimateDemandRecoversSlope(t *testing.T) {
+	// Synthetic utilization-law data: U = 0.004*X + 0.02 with varying
+	// load levels.
+	u := trace.UtilizationSamples{PeriodSeconds: 5}
+	for i := 0; i < 100; i++ {
+		xPerSec := 20 + float64(i)
+		u.Completions = append(u.Completions, xPerSec*5)
+		u.Utilization = append(u.Utilization, 0.004*xPerSec+0.02)
+	}
+	reg, err := EstimateDemand(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.Demand-0.004) > 1e-9 {
+		t.Errorf("demand = %v, want 0.004", reg.Demand)
+	}
+	if math.Abs(reg.Background-0.02) > 1e-9 {
+		t.Errorf("background = %v, want 0.02", reg.Background)
+	}
+	if reg.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1", reg.R2)
+	}
+}
+
+func TestEstimateDemandErrors(t *testing.T) {
+	if _, err := EstimateDemand(trace.UtilizationSamples{}); err == nil {
+		t.Error("expected error for empty samples")
+	}
+	// Constant throughput: zero variance in x.
+	u := trace.UtilizationSamples{PeriodSeconds: 5}
+	for i := 0; i < 10; i++ {
+		u.Completions = append(u.Completions, 100)
+		u.Utilization = append(u.Utilization, 0.5)
+	}
+	if _, err := EstimateDemand(u); err == nil {
+		t.Error("expected error for zero throughput variance")
+	}
+	// Negative slope.
+	u2 := trace.UtilizationSamples{PeriodSeconds: 5}
+	for i := 0; i < 10; i++ {
+		u2.Completions = append(u2.Completions, float64(100+i*10))
+		u2.Utilization = append(u2.Utilization, 0.9-float64(i)*0.05)
+	}
+	if _, err := EstimateDemand(u2); err == nil {
+		t.Error("expected error for negative regression slope")
+	}
+}

@@ -1,0 +1,106 @@
+package mapqn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/mva"
+)
+
+// BoundsResult brackets the throughput of the MAP queueing network at one
+// population without solving the CTMC. The paper notes (Section 4.2) that
+// exact solution becomes infeasible for very large EB counts — e.g.,
+// Z = 7 s would need ~1200 EBs to reach heavy load — and points to the
+// bound analysis of [Casale, Mi & Smirni, SIGMETRICS'08]. The bounds here
+// follow that spirit with two product-form evaluations:
+//
+//   - Upper: exact MVA on the mean demands. Burstiness redistributes
+//     service capacity in time but cannot add any; the renewal
+//     (gamma = 0) network is the most efficient arrangement of the same
+//     marginal work, so its throughput dominates.
+//   - Lower: exact MVA on pessimistic demands, where each station serves
+//     every job at its slowest phase rate (the worst sustained regime the
+//     modulating chain can pin the station in).
+//
+// Both evaluations cost O(N) instead of O(N^2) states, so they scale to
+// arbitrary populations.
+type BoundsResult struct {
+	Customers                       int
+	UpperX                          float64
+	LowerX                          float64
+	UpperDemandFront, UpperDemandDB float64 // mean demands used by the upper bound
+	LowerDemandFront, LowerDemandDB float64 // slow-phase demands used by the lower bound
+}
+
+// Bounds computes throughput bounds for the model at its population.
+func Bounds(m Model) (BoundsResult, error) {
+	if err := m.Validate(); err != nil {
+		return BoundsResult{}, err
+	}
+	sFront := m.Front.Mean()
+	sDB := m.DB.Mean()
+	upperNet := mva.Model(sFront, sDB, m.ThinkTime)
+	upper, err := mva.Solve(upperNet, m.Customers)
+	if err != nil {
+		return BoundsResult{}, fmt.Errorf("mapqn: upper bound: %w", err)
+	}
+	slowFront, err := slowPhaseDemand(m.Front)
+	if err != nil {
+		return BoundsResult{}, err
+	}
+	slowDB, err := slowPhaseDemand(m.DB)
+	if err != nil {
+		return BoundsResult{}, err
+	}
+	lowerNet := mva.Model(slowFront, slowDB, m.ThinkTime)
+	lower, err := mva.Solve(lowerNet, m.Customers)
+	if err != nil {
+		return BoundsResult{}, fmt.Errorf("mapqn: lower bound: %w", err)
+	}
+	return BoundsResult{
+		Customers:        m.Customers,
+		UpperX:           upper.Throughput,
+		LowerX:           lower.Throughput,
+		UpperDemandFront: sFront,
+		UpperDemandDB:    sDB,
+		LowerDemandFront: slowFront,
+		LowerDemandDB:    slowDB,
+	}, nil
+}
+
+// slowPhaseDemand returns the mean service time conditional on the
+// slowest phase of the MAP: 1 over the smallest total completion rate
+// among phases.
+func slowPhaseDemand(m *markov.MAP) (float64, error) {
+	rates := m.D1.RowSums()
+	min := math.Inf(1)
+	for j, r := range rates {
+		// A phase without direct completions exits through D0 first; its
+		// effective completion rate is bounded by the total exit rate.
+		if r <= 0 {
+			r = -m.D0.At(j, j)
+		}
+		if r < min {
+			min = r
+		}
+	}
+	if min <= 0 || math.IsInf(min, 1) {
+		return 0, errors.New("mapqn: MAP has no completing phase")
+	}
+	return 1 / min, nil
+}
+
+// BoundsSweep evaluates Bounds at each population.
+func BoundsSweep(front, db *markov.MAP, thinkTime float64, populations []int) ([]BoundsResult, error) {
+	out := make([]BoundsResult, 0, len(populations))
+	for _, n := range populations {
+		b, err := Bounds(Model{Front: front, DB: db, ThinkTime: thinkTime, Customers: n})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+// Package mapqn implements the paper's capacity-planning model (Fig. 9
+// parameterized as in Section 4): a closed queueing network of two
+// MAP-service queues in series — the front/application server and the
+// database server — plus a delay station (user think time Z), populated
+// by N customers (emulated browsers). The model is solved exactly by
+// building the underlying continuous-time Markov chain and computing its
+// stationary distribution, the approach the paper uses for model
+// validation (Section 4.2, citing the MAP queueing networks of
+// [Casale, Mi & Smirni, SIGMETRICS'08]).
+//
+// Semantics: each station serves one job at a time, with service
+// completions driven by the station's MAP (transitions in D1 complete the
+// job in service, transitions in D0 change only the modulating phase).
+// The MAP phase is frozen while a station idles: the MAP models the
+// *service process*, whose clock advances only when work is done. The
+// burstiness the MAP carries across consecutive completions is exactly
+// what lets the model reproduce bottleneck switch.
+package mapqn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// Model is the closed two-station MAP queueing network.
+type Model struct {
+	// Front and DB are the MAP service processes of the two stations.
+	Front, DB *markov.MAP
+	// ThinkTime is the mean think time Z of the delay station.
+	ThinkTime float64
+	// Customers is the number of emulated browsers N.
+	Customers int
+	// PhasesRunWhileIdle selects the idle-station semantics. The default
+	// (false) freezes a station's MAP phase while its queue is empty —
+	// the service process only advances when work is done, the semantics
+	// of MAP queueing networks and of this paper. When true, the
+	// modulating chain Q = D0+D1 keeps evolving during idleness (as if
+	// the burstiness stemmed from an external environment); the ablation
+	// benchmark quantifies the difference.
+	PhasesRunWhileIdle bool
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.Front == nil || m.DB == nil {
+		return errors.New("mapqn: both station MAPs must be set")
+	}
+	if m.ThinkTime < 0 {
+		return fmt.Errorf("mapqn: think time %v must be >= 0", m.ThinkTime)
+	}
+	if m.Customers < 1 {
+		return fmt.Errorf("mapqn: customers %d must be >= 1", m.Customers)
+	}
+	return nil
+}
+
+// Metrics carries the exact stationary performance measures of the model.
+type Metrics struct {
+	// Throughput is the system throughput X (completions of full
+	// front+DB passes per second).
+	Throughput float64
+	// ResponseTime is the mean end-to-end response time N/X - Z.
+	ResponseTime float64
+	// UtilFront and UtilDB are the station busy probabilities.
+	UtilFront, UtilDB float64
+	// QueueFront and QueueDB are mean queue lengths (jobs in service or
+	// waiting).
+	QueueFront, QueueDB float64
+	// Thinking is the mean number of customers in think state.
+	Thinking float64
+	// QueueDistFront and QueueDistDB are the stationary queue-length
+	// distributions: QueueDistFront[k] = P(k jobs at the front station).
+	// They expose the heavy tails that burstiness induces (the mean alone
+	// hides the spikes of the paper's Fig. 6).
+	QueueDistFront, QueueDistDB []float64
+	// States is the size of the underlying CTMC.
+	States int
+	// SolverIterations and SolverMethod report how the chain was solved.
+	SolverIterations int
+	SolverMethod     string
+}
+
+// stateSpace enumerates states (n1, n2, j1, j2) with n1+n2 <= N.
+// Index layout: for each (n1, n2) pair (triangular), a block of
+// m1*m2 phase combinations.
+type stateSpace struct {
+	n          int // customers
+	m1, m2     int // phase counts
+	pairOffset []int
+	pairCount  int
+}
+
+func newStateSpace(n, m1, m2 int) *stateSpace {
+	s := &stateSpace{n: n, m1: m1, m2: m2}
+	s.pairOffset = make([]int, n+2)
+	count := 0
+	for n1 := 0; n1 <= n; n1++ {
+		s.pairOffset[n1] = count
+		count += n - n1 + 1 // n2 in 0..n-n1
+	}
+	s.pairOffset[n+1] = count
+	s.pairCount = count
+	return s
+}
+
+// size returns the total number of CTMC states.
+func (s *stateSpace) size() int { return s.pairCount * s.m1 * s.m2 }
+
+// index maps (n1, n2, j1, j2) to a state index.
+func (s *stateSpace) index(n1, n2, j1, j2 int) int {
+	pair := s.pairOffset[n1] + n2
+	return (pair*s.m1+j1)*s.m2 + j2
+}
+
+// decode maps a state index back to (n1, n2, j1, j2).
+func (s *stateSpace) decode(idx int) (n1, n2, j1, j2 int) {
+	j2 = idx % s.m2
+	idx /= s.m2
+	j1 = idx % s.m1
+	pair := idx / s.m1
+	// Find n1 with pairOffset[n1] <= pair < pairOffset[n1+1].
+	lo, hi := 0, s.n
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.pairOffset[mid] <= pair {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	n1 = lo
+	n2 = pair - s.pairOffset[n1]
+	return n1, n2, j1, j2
+}
+
+// Solve builds and solves the CTMC, returning exact stationary metrics.
+func Solve(m Model, opts ctmc.Options) (Metrics, error) {
+	if err := m.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	gen, space := buildGenerator(m)
+	res, err := ctmc.SteadyState(gen, opts)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("mapqn: steady-state solve failed: %w", err)
+	}
+	return collectMetrics(m, space, res)
+}
+
+// buildGenerator assembles the sparse CTMC generator of the model.
+func buildGenerator(m Model) (*matrix.CSR, *stateSpace) {
+	n := m.Customers
+	m1, m2 := m.Front.Order(), m.DB.Order()
+	space := newStateSpace(n, m1, m2)
+	thinkRate := 0.0
+	if m.ThinkTime > 0 {
+		thinkRate = 1 / m.ThinkTime
+	}
+
+	// Estimated non-zeros: think + front(D0+D1) + db(D0+D1) per state.
+	est := space.size() * (2 + m1 + m2 + 2)
+	entries := make([]matrix.Triplet, 0, est)
+	add := func(from, to int, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		entries = append(entries, matrix.Triplet{Row: from, Col: to, Val: rate})
+		entries = append(entries, matrix.Triplet{Row: from, Col: from, Val: -rate})
+	}
+
+	for n1 := 0; n1 <= n; n1++ {
+		for n2 := 0; n2 <= n-n1; n2++ {
+			thinking := n - n1 - n2
+			for j1 := 0; j1 < m1; j1++ {
+				for j2 := 0; j2 < m2; j2++ {
+					from := space.index(n1, n2, j1, j2)
+					// Think completions: a customer submits a request.
+					if thinking > 0 && thinkRate > 0 {
+						add(from, space.index(n1+1, n2, j1, j2), float64(thinking)*thinkRate)
+					} else if thinking > 0 && thinkRate == 0 {
+						// Z = 0: think stage is instantaneous; model as a
+						// very fast transition to keep the chain finite.
+						// (Callers should use Z > 0; this branch keeps the
+						// generator well-formed for the degenerate case.)
+						add(from, space.index(n1+1, n2, j1, j2), float64(thinking)*1e9)
+					}
+					// Front server active.
+					if n1 > 0 {
+						for k1 := 0; k1 < m1; k1++ {
+							// Completion: job moves front -> DB.
+							add(from, space.index(n1-1, n2+1, k1, j2), m.Front.D1.At(j1, k1))
+							// Phase change without completion.
+							if k1 != j1 {
+								add(from, space.index(n1, n2, k1, j2), m.Front.D0.At(j1, k1))
+							}
+						}
+					} else if m.PhasesRunWhileIdle {
+						// Idle station with a free-running environment:
+						// the modulating chain Q = D0+D1 evolves without
+						// completions.
+						for k1 := 0; k1 < m1; k1++ {
+							if k1 != j1 {
+								add(from, space.index(n1, n2, k1, j2),
+									m.Front.D0.At(j1, k1)+m.Front.D1.At(j1, k1))
+							}
+						}
+					}
+					// DB server active.
+					if n2 > 0 {
+						for k2 := 0; k2 < m2; k2++ {
+							// Completion: job returns to the think pool.
+							add(from, space.index(n1, n2-1, j1, k2), m.DB.D1.At(j2, k2))
+							if k2 != j2 {
+								add(from, space.index(n1, n2, j1, k2), m.DB.D0.At(j2, k2))
+							}
+						}
+					} else if m.PhasesRunWhileIdle {
+						for k2 := 0; k2 < m2; k2++ {
+							if k2 != j2 {
+								add(from, space.index(n1, n2, j1, k2),
+									m.DB.D0.At(j2, k2)+m.DB.D1.At(j2, k2))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return matrix.NewCSR(space.size(), entries), space
+}
+
+// collectMetrics computes throughput, utilizations and queue lengths from
+// the stationary vector.
+func collectMetrics(m Model, space *stateSpace, res ctmc.Result) (Metrics, error) {
+	dbExit := m.DB.D1.RowSums() // completion rate per DB phase
+
+	var x, uF, uD, qF, qD, think float64
+	distF := make([]float64, m.Customers+1)
+	distD := make([]float64, m.Customers+1)
+	for idx, p := range res.Pi {
+		if p == 0 {
+			continue
+		}
+		n1, n2, _, j2 := space.decode(idx)
+		distF[n1] += p
+		distD[n2] += p
+		if n1 > 0 {
+			uF += p
+			qF += p * float64(n1)
+		}
+		if n2 > 0 {
+			uD += p
+			qD += p * float64(n2)
+			x += p * dbExit[j2]
+		}
+		think += p * float64(m.Customers-n1-n2)
+	}
+	if x <= 0 {
+		return Metrics{}, errors.New("mapqn: zero throughput (degenerate model)")
+	}
+	return Metrics{
+		Throughput:       x,
+		ResponseTime:     float64(m.Customers)/x - m.ThinkTime,
+		UtilFront:        uF,
+		UtilDB:           uD,
+		QueueFront:       qF,
+		QueueDB:          qD,
+		Thinking:         think,
+		QueueDistFront:   distF,
+		QueueDistDB:      distD,
+		States:           space.size(),
+		SolverIterations: res.Iterations,
+		SolverMethod:     res.Method,
+	}, nil
+}
+
+// SolveSweep solves the model for each population in customers,
+// reusing nothing across solves (each population is an independent CTMC).
+// It is the model-side analogue of an EB sweep on the testbed.
+func SolveSweep(front, db *markov.MAP, thinkTime float64, customers []int, opts ctmc.Options) ([]Metrics, error) {
+	out := make([]Metrics, 0, len(customers))
+	for _, n := range customers {
+		m := Model{Front: front, DB: db, ThinkTime: thinkTime, Customers: n}
+		met, err := Solve(m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mapqn: population %d: %w", n, err)
+		}
+		out = append(out, met)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/ph"
+)
+
+// Poisson returns the order-1 MAP that is a Poisson process with the
+// given rate. Its index of dispersion is exactly 1, the paper's baseline
+// for "no burstiness".
+func Poisson(rate float64) *MAP {
+	if rate <= 0 {
+		panic(fmt.Sprintf("markov: Poisson rate %v must be > 0", rate))
+	}
+	return MustNew(
+		matrix.FromRows([][]float64{{-rate}}),
+		matrix.FromRows([][]float64{{rate}}),
+	)
+}
+
+// MMPP2 returns a two-state Markov-Modulated Poisson Process: completions
+// occur at rate r1 in state 1 and r2 in state 2, with phase switching
+// rates q12 and q21. MMPP(2) is the classical model of bursty traffic.
+func MMPP2(r1, r2, q12, q21 float64) (*MAP, error) {
+	if r1 < 0 || r2 < 0 || q12 <= 0 || q21 <= 0 || r1+r2 == 0 {
+		return nil, fmt.Errorf("markov: invalid MMPP2 rates (r1=%v, r2=%v, q12=%v, q21=%v)", r1, r2, q12, q21)
+	}
+	d0 := matrix.FromRows([][]float64{
+		{-(r1 + q12), q12},
+		{q21, -(r2 + q21)},
+	})
+	d1 := matrix.FromRows([][]float64{
+		{r1, 0},
+		{0, r2},
+	})
+	return New(d0, d1)
+}
+
+// FromPH returns the renewal MAP whose interarrival times are i.i.d. with
+// the given phase-type distribution: D1 = t * alpha (exit vector times
+// restart vector). All autocorrelations are zero and I = SCV.
+func FromPH(d *ph.Dist) (*MAP, error) {
+	n := d.Order()
+	exit := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			row += d.T.At(i, j)
+		}
+		exit[i] = -row
+	}
+	d1 := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d1.Set(i, j, exit[i]*d.Alpha[j])
+		}
+	}
+	return New(d.T.Clone(), d1)
+}
+
+// ErlangRenewal returns the renewal MAP with Erlang-k marginal of the
+// given mean (SCV = 1/k < 1), used when the measured index of dispersion
+// is below 1 (smoother-than-Poisson service).
+func ErlangRenewal(k int, mean float64) (*MAP, error) {
+	if k < 1 || mean <= 0 {
+		return nil, fmt.Errorf("markov: invalid Erlang renewal (k=%d, mean=%v)", k, mean)
+	}
+	return FromPH(ph.Erlang(k, mean))
+}
+
+// H2Params holds the rates and mixing probability of a two-phase
+// hyperexponential marginal: with probability P the next service is
+// Exp(Rate1), otherwise Exp(Rate2).
+type H2Params struct {
+	P     float64
+	Rate1 float64
+	Rate2 float64
+}
+
+// Validate checks the parameters define a proper H2 distribution.
+func (h H2Params) Validate() error {
+	if h.P < 0 || h.P > 1 {
+		return fmt.Errorf("markov: H2 probability %v out of [0,1]", h.P)
+	}
+	if h.Rate1 <= 0 || h.Rate2 <= 0 {
+		return fmt.Errorf("markov: H2 rates (%v, %v) must be > 0", h.Rate1, h.Rate2)
+	}
+	return nil
+}
+
+// Mean returns the mean of the H2 distribution.
+func (h H2Params) Mean() float64 { return h.P/h.Rate1 + (1-h.P)/h.Rate2 }
+
+// SCV returns the squared coefficient of variation.
+func (h H2Params) SCV() float64 {
+	m1 := h.Mean()
+	m2 := 2 * (h.P/(h.Rate1*h.Rate1) + (1-h.P)/(h.Rate2*h.Rate2))
+	return m2/(m1*m1) - 1
+}
+
+// BalancedH2 returns the balanced-means H2 with the given mean and SCV
+// (SCV >= 1): p/rate1 = (1-p)/rate2, the standard two-moment fit.
+func BalancedH2(mean, scv float64) (H2Params, error) {
+	if mean <= 0 {
+		return H2Params{}, fmt.Errorf("markov: H2 mean %v must be > 0", mean)
+	}
+	if scv < 1 {
+		return H2Params{}, fmt.Errorf("markov: H2 SCV %v must be >= 1", scv)
+	}
+	if scv == 1 {
+		return H2Params{P: 1, Rate1: 1 / mean, Rate2: 1 / mean}, nil
+	}
+	p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+	return H2Params{
+		P:     p,
+		Rate1: 2 * p / mean,
+		Rate2: 2 * (1 - p) / mean,
+	}, nil
+}
+
+// CorrelatedH2 builds the MAP(2) at the core of the paper's fitting
+// procedure: a diagonal-D0 MAP whose stationary marginal is the given H2
+// distribution and whose embedded phase chain is
+//
+//	P = 1*pi + gamma*(I - 1*pi),
+//
+// i.e., after each completion the next phase is redrawn from the marginal
+// mixing probabilities with probability (1-gamma) and kept with
+// probability gamma. gamma in [0,1) is the geometric decay rate of the
+// lag autocorrelations; gamma = 0 gives the renewal H2 (I = SCV) and
+// gamma -> 1 gives unbounded burstiness. In closed form,
+//
+//	I = SCV + gamma/(1-gamma) * (SCV - 1).
+func CorrelatedH2(h H2Params, gamma float64) (*MAP, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if gamma < 0 || gamma >= 1 {
+		return nil, fmt.Errorf("markov: gamma %v out of [0,1)", gamma)
+	}
+	pi1, pi2 := h.P, 1-h.P
+	if pi1 <= 0 || pi2 <= 0 {
+		// Degenerate mixture: a single exponential phase; gamma is
+		// irrelevant because there is only one phase to persist in.
+		rate := h.Rate1
+		if pi1 <= 0 {
+			rate = h.Rate2
+		}
+		return Poisson(rate), nil
+	}
+	p := matrix.FromRows([][]float64{
+		{pi1 + gamma*pi2, pi2 - gamma*pi2},
+		{pi1 - gamma*pi1, pi2 + gamma*pi1},
+	})
+	d0 := matrix.FromRows([][]float64{
+		{-h.Rate1, 0},
+		{0, -h.Rate2},
+	})
+	// D1 = (-D0) * P.
+	d1 := matrix.FromRows([][]float64{
+		{h.Rate1 * p.At(0, 0), h.Rate1 * p.At(0, 1)},
+		{h.Rate2 * p.At(1, 0), h.Rate2 * p.At(1, 1)},
+	})
+	return New(d0, d1)
+}

@@ -1,0 +1,353 @@
+// Package markov implements Markovian Arrival Processes (MAPs), the
+// stochastic processes the paper uses to model bursty service: a Markov
+// chain whose transitions either complete a request (rates in D1) or only
+// change the modulating phase (rates in D0). The package provides exact
+// closed-form descriptors (moments, lag autocorrelations, asymptotic index
+// of dispersion), trace sampling, and the paper's fitting procedure that
+// builds a MAP(2) from just three measurements: the mean service time, the
+// index of dispersion I, and the 95th percentile of service times.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/ph"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// MAP is a Markovian Arrival Process (D0, D1) of order m.
+// D0 holds phase-change rates without a completion (negative diagonal),
+// D1 holds rates that complete one request; D0 + D1 is the generator of
+// the modulating continuous-time Markov chain.
+type MAP struct {
+	D0 *matrix.Dense
+	D1 *matrix.Dense
+
+	// Cached derived quantities, computed in New.
+	order    int
+	theta    []float64 // stationary distribution of Q = D0+D1
+	pi       []float64 // stationary distribution of embedded chain P
+	embedded *matrix.Dense
+	m        *matrix.Dense // (-D0)^{-1}
+	marginal *ph.Dist      // stationary interarrival distribution PH(pi, D0)
+}
+
+// New validates the pair (D0, D1) and precomputes the stationary and
+// embedded-process descriptors.
+func New(d0, d1 *matrix.Dense) (*MAP, error) {
+	if d0.Rows != d0.Cols || d1.Rows != d1.Cols || d0.Rows != d1.Rows {
+		return nil, fmt.Errorf("markov: D0 (%dx%d) and D1 (%dx%d) must be square and same order",
+			d0.Rows, d0.Cols, d1.Rows, d1.Cols)
+	}
+	n := d0.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				if d0.At(i, i) >= 0 {
+					return nil, fmt.Errorf("markov: D0[%d][%d] = %v must be < 0", i, i, d0.At(i, i))
+				}
+			} else if d0.At(i, j) < 0 {
+				return nil, fmt.Errorf("markov: D0[%d][%d] = %v must be >= 0", i, j, d0.At(i, j))
+			}
+			if d1.At(i, j) < 0 {
+				return nil, fmt.Errorf("markov: D1[%d][%d] = %v must be >= 0", i, j, d1.At(i, j))
+			}
+		}
+	}
+	q := d0.Add(d1)
+	for i, s := range q.RowSums() {
+		if math.Abs(s) > 1e-8 {
+			return nil, fmt.Errorf("markov: row %d of D0+D1 sums to %v, want 0", i, s)
+		}
+	}
+	theta, err := stationaryGenerator(q)
+	if err != nil {
+		return nil, fmt.Errorf("markov: generator has no unique stationary vector: %w", err)
+	}
+	mInv, err := matrix.Inverse(d0.Scale(-1))
+	if err != nil {
+		return nil, fmt.Errorf("markov: -D0 is singular (process would stall): %w", err)
+	}
+	p := mInv.Mul(d1)
+	pi, err := stationaryStochastic(p)
+	if err != nil {
+		return nil, fmt.Errorf("markov: embedded chain has no unique stationary vector: %w", err)
+	}
+	marg, err := ph.New(pi, d0)
+	if err != nil {
+		return nil, fmt.Errorf("markov: marginal phase-type invalid: %w", err)
+	}
+	return &MAP{
+		D0: d0, D1: d1,
+		order:    n,
+		theta:    theta,
+		pi:       pi,
+		embedded: p,
+		m:        mInv,
+		marginal: marg,
+	}, nil
+}
+
+// MustNew is New but panics on error; for statically known parameters.
+func MustNew(d0, d1 *matrix.Dense) *MAP {
+	m, err := New(d0, d1)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// stationaryGenerator solves theta*Q = 0, theta*1 = 1 by replacing one
+// balance equation with the normalization condition.
+func stationaryGenerator(q *matrix.Dense) ([]float64, error) {
+	n := q.Rows
+	// Build A^T x = b where A is Q with last column replaced by ones
+	// (working on the transposed system so unknowns are theta).
+	a := matrix.NewDense(n, n)
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a.Set(j, i, q.At(i, j)) // transpose
+		}
+	}
+	for i := 0; i < n; i++ {
+		a.Set(n-1, i, 1) // normalization replaces last equation
+	}
+	b[n-1] = 1
+	x, err := matrix.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range x {
+		if v < -1e-9 {
+			return nil, fmt.Errorf("markov: stationary probability %d is negative (%v)", i, v)
+		}
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x, nil
+}
+
+// stationaryStochastic solves pi*P = pi, pi*1 = 1 for a stochastic matrix.
+func stationaryStochastic(p *matrix.Dense) ([]float64, error) {
+	n := p.Rows
+	// (P^T - I) x = 0 with normalization.
+	a := matrix.NewDense(n, n)
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a.Set(j, i, p.At(i, j))
+		}
+		a.Set(j, j, a.At(j, j)-1)
+	}
+	for i := 0; i < n; i++ {
+		a.Set(n-1, i, 1)
+	}
+	b[n-1] = 1
+	x, err := matrix.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range x {
+		if v < -1e-9 {
+			return nil, fmt.Errorf("markov: embedded stationary probability %d is negative (%v)", i, v)
+		}
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x, nil
+}
+
+// Order returns the number of phases.
+func (m *MAP) Order() int { return m.order }
+
+// Theta returns the stationary distribution of the modulating chain
+// Q = D0 + D1 (time-stationary phase probabilities).
+func (m *MAP) Theta() []float64 { return append([]float64(nil), m.theta...) }
+
+// EmbeddedStationary returns the stationary phase distribution at
+// completion instants (the stationary vector of P = (-D0)^{-1} D1).
+func (m *MAP) EmbeddedStationary() []float64 { return append([]float64(nil), m.pi...) }
+
+// Marginal returns the stationary interarrival-time distribution, a
+// phase-type distribution PH(pi, D0).
+func (m *MAP) Marginal() *ph.Dist { return m.marginal }
+
+// Mean returns the stationary mean interarrival (service) time.
+func (m *MAP) Mean() float64 { return m.marginal.Mean() }
+
+// Rate returns the fundamental rate lambda = theta * D1 * 1 (completions
+// per unit time while the process runs).
+func (m *MAP) Rate() float64 {
+	v := m.D1.RowSums()
+	sum := 0.0
+	for i := range v {
+		sum += m.theta[i] * v[i]
+	}
+	return sum
+}
+
+// SCV returns the squared coefficient of variation of interarrival times.
+func (m *MAP) SCV() float64 { return m.marginal.SCV() }
+
+// Moment returns the k-th raw moment of the stationary interarrival time.
+func (m *MAP) Moment(k int) float64 { return m.marginal.Moment(k) }
+
+// Percentile returns the p-th percentile (p in (0,100)) of the stationary
+// interarrival-time distribution.
+func (m *MAP) Percentile(p float64) (float64, error) {
+	return m.marginal.Quantile(p / 100)
+}
+
+// AutocorrelationLag returns the lag-k autocorrelation coefficient of the
+// stationary interarrival-time sequence:
+//
+//	rho_k = (pi*M*P^k*M*1 - mu^2) / sigma^2,  M = (-D0)^{-1}.
+func (m *MAP) AutocorrelationLag(k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("markov: lag %d must be >= 1", k))
+	}
+	mu := m.Mean()
+	sigma2 := m.marginal.Variance()
+	if sigma2 <= 0 {
+		return 0
+	}
+	// v = pi * M, then multiply by P^k, then by M, then dot 1.
+	v := m.m.VecMul(m.pi)
+	for i := 0; i < k; i++ {
+		v = m.embedded.VecMul(v)
+	}
+	v = m.m.VecMul(v)
+	e := 0.0
+	for _, x := range v {
+		e += x
+	}
+	return (e - mu*mu) / sigma2
+}
+
+// SumAutocorrelations returns sum_{k>=1} rho_k in closed form using the
+// fundamental matrix Z = (I - P + 1*pi)^{-1}:
+//
+//	sum_k (P^k - 1*pi) = Z - I.
+func (m *MAP) SumAutocorrelations() (float64, error) {
+	n := m.order
+	sigma2 := m.marginal.Variance()
+	if sigma2 <= 0 {
+		return 0, nil
+	}
+	a := matrix.Identity(n).Sub(m.embedded)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, a.At(i, j)+m.pi[j])
+		}
+	}
+	z, err := matrix.Inverse(a)
+	if err != nil {
+		return 0, fmt.Errorf("markov: fundamental matrix singular: %w", err)
+	}
+	zmi := z.Sub(matrix.Identity(n))
+	// pi * M * (Z - I) * M * 1.
+	v := m.m.VecMul(m.pi)
+	v = zmi.VecMul(v)
+	v = m.m.VecMul(v)
+	e := 0.0
+	for _, x := range v {
+		e += x
+	}
+	return e / sigma2, nil
+}
+
+// IndexOfDispersion returns the asymptotic index of dispersion for counts
+// I = SCV * (1 + 2*sum_{k>=1} rho_k), the quantity the paper estimates
+// from measurements (Eq. (1)).
+func (m *MAP) IndexOfDispersion() (float64, error) {
+	s, err := m.SumAutocorrelations()
+	if err != nil {
+		return 0, err
+	}
+	return m.SCV() * (1 + 2*s), nil
+}
+
+// Scale returns a copy of the MAP with time rescaled so the mean
+// interarrival time becomes newMean. Scaling leaves SCV, autocorrelations
+// and the index of dispersion invariant; percentiles scale linearly.
+func (m *MAP) Scale(newMean float64) (*MAP, error) {
+	if newMean <= 0 {
+		return nil, fmt.Errorf("markov: target mean %v must be > 0", newMean)
+	}
+	c := m.Mean() / newMean
+	return New(m.D0.Scale(c), m.D1.Scale(c))
+}
+
+// Sample generates n consecutive stationary interarrival times by
+// simulating the process, starting from the embedded stationary phase.
+func (m *MAP) Sample(n int, src *xrand.Source) trace.T {
+	out := make(trace.T, 0, n)
+	state := src.Choice(m.pi)
+	elapsed := 0.0
+	for len(out) < n {
+		rate := -m.D0.At(state, state)
+		elapsed += src.ExpRate(rate)
+		// Pick the transition: off-diagonal D0 entries (phase change) or
+		// any D1 entry (completion).
+		u := src.Float64() * rate
+		next, completed := state, false
+		acc := 0.0
+		for j := 0; j < m.order && !completed; j++ {
+			if j != state {
+				acc += m.D0.At(state, j)
+				if u < acc {
+					next = j
+					break
+				}
+			}
+		}
+		if acc <= u {
+			for j := 0; j < m.order; j++ {
+				acc += m.D1.At(state, j)
+				if u < acc {
+					next = j
+					completed = true
+					break
+				}
+			}
+			if !completed {
+				// Numerical remainder: attribute to the largest D1 entry.
+				best, bestV := state, -1.0
+				for j := 0; j < m.order; j++ {
+					if v := m.D1.At(state, j); v > bestV {
+						best, bestV = j, v
+					}
+				}
+				next = best
+				completed = true
+			}
+		}
+		if completed {
+			out = append(out, elapsed)
+			elapsed = 0
+		}
+		state = next
+	}
+	return out
+}
+
+// ErrNotMAP2 is returned by MAP(2)-specific helpers on other orders.
+var ErrNotMAP2 = errors.New("markov: operation requires a MAP(2)")
+
+// EmbeddedDecay returns gamma, the second eigenvalue of the embedded
+// transition matrix of a MAP(2). The lag-k autocorrelation of a MAP(2)
+// decays geometrically as rho_k = rho_1 * gamma^{k-1}.
+func (m *MAP) EmbeddedDecay() (float64, error) {
+	if m.order != 2 {
+		return 0, ErrNotMAP2
+	}
+	// Trace of P = 1 + gamma for a 2x2 stochastic matrix.
+	return m.embedded.At(0, 0) + m.embedded.At(1, 1) - 1, nil
+}

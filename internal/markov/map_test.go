@@ -1,0 +1,440 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/ph"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func TestPoissonDescriptors(t *testing.T) {
+	m := Poisson(4)
+	if math.Abs(m.Mean()-0.25) > 1e-12 {
+		t.Errorf("mean = %v, want 0.25", m.Mean())
+	}
+	if math.Abs(m.Rate()-4) > 1e-12 {
+		t.Errorf("rate = %v, want 4", m.Rate())
+	}
+	if math.Abs(m.SCV()-1) > 1e-12 {
+		t.Errorf("SCV = %v, want 1", m.SCV())
+	}
+	i, err := m.IndexOfDispersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-1) > 1e-9 {
+		t.Errorf("I = %v, want exactly 1 for Poisson", i)
+	}
+}
+
+func TestValidationRejectsBadMatrices(t *testing.T) {
+	cases := []struct {
+		name   string
+		d0, d1 *matrix.Dense
+	}{
+		{"shape mismatch", matrix.NewDense(2, 2), matrix.NewDense(3, 3)},
+		{"non-square", matrix.NewDense(2, 3), matrix.NewDense(2, 3)},
+		{
+			"positive D0 diagonal",
+			matrix.FromRows([][]float64{{1, 0}, {0, -1}}),
+			matrix.FromRows([][]float64{{0, -1}, {1, 0}}),
+		},
+		{
+			"negative D0 off-diagonal",
+			matrix.FromRows([][]float64{{-1, -1}, {0, -1}}),
+			matrix.FromRows([][]float64{{2, 0}, {0, 1}}),
+		},
+		{
+			"negative D1",
+			matrix.FromRows([][]float64{{-1, 0}, {0, -1}}),
+			matrix.FromRows([][]float64{{2, -1}, {0, 1}}),
+		},
+		{
+			"rows not zero-sum",
+			matrix.FromRows([][]float64{{-1, 0}, {0, -1}}),
+			matrix.FromRows([][]float64{{2, 0}, {0, 1}}),
+		},
+	}
+	for _, c := range cases {
+		if _, err := New(c.d0, c.d1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMMPP2Descriptors(t *testing.T) {
+	m, err := MMPP2(10, 1, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary of the switching chain: theta1 = q21/(q12+q21) = 1/3.
+	theta := m.Theta()
+	if math.Abs(theta[0]-1.0/3) > 1e-9 {
+		t.Errorf("theta = %v, want [1/3 2/3]", theta)
+	}
+	// Fundamental rate = theta1*r1 + theta2*r2 = 10/3 + 2/3 = 4.
+	if math.Abs(m.Rate()-4) > 1e-9 {
+		t.Errorf("rate = %v, want 4", m.Rate())
+	}
+	// Burstiness: an MMPP2 with strongly different rates must have I >> 1.
+	i, err := m.IndexOfDispersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i < 2 {
+		t.Errorf("I = %v, want substantially above 1", i)
+	}
+}
+
+func TestMMPP2Errors(t *testing.T) {
+	if _, err := MMPP2(-1, 1, 1, 1); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	if _, err := MMPP2(1, 1, 0, 1); err == nil {
+		t.Error("expected error for zero switching rate")
+	}
+	if _, err := MMPP2(0, 0, 1, 1); err == nil {
+		t.Error("expected error for zero total rate")
+	}
+}
+
+func TestRenewalMAPHasZeroAutocorrelation(t *testing.T) {
+	d := ph.Hyper2(0.3, 1, 5)
+	m, err := FromPH(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 5; k++ {
+		if r := m.AutocorrelationLag(k); math.Abs(r) > 1e-9 {
+			t.Errorf("renewal rho_%d = %v, want 0", k, r)
+		}
+	}
+	// I = SCV for a renewal process.
+	i, err := m.IndexOfDispersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-m.SCV()) > 1e-6 {
+		t.Errorf("renewal I = %v, want SCV = %v", i, m.SCV())
+	}
+	// Marginal must match the source distribution.
+	if math.Abs(m.Mean()-d.Mean()) > 1e-9 {
+		t.Errorf("marginal mean = %v, want %v", m.Mean(), d.Mean())
+	}
+}
+
+func TestErlangRenewalSmoothness(t *testing.T) {
+	m, err := ErlangRenewal(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := m.IndexOfDispersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-0.25) > 1e-6 {
+		t.Errorf("Erlang-4 renewal I = %v, want 0.25", i)
+	}
+	if _, err := ErlangRenewal(0, 1); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+func TestCorrelatedH2ExactDescriptors(t *testing.T) {
+	// The core analytic identity behind the paper's fitting procedure:
+	// I = scv + gamma/(1-gamma)*(scv-1), mean preserved, marginal H2.
+	for _, tc := range []struct{ mean, scv, gamma float64 }{
+		{1, 3, 0},
+		{1, 3, 0.5},
+		{1, 3, 0.95},
+		{0.01, 10, 0.9},
+		{5, 2, 0.99},
+	} {
+		h, err := BalancedH2(tc.mean, tc.scv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := CorrelatedH2(h, tc.gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Mean()-tc.mean) > 1e-9*tc.mean {
+			t.Errorf("%+v: mean = %v", tc, m.Mean())
+		}
+		if math.Abs(m.SCV()-tc.scv) > 1e-6 {
+			t.Errorf("%+v: SCV = %v", tc, m.SCV())
+		}
+		i, err := m.IndexOfDispersion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := TheoreticalI(tc.scv, tc.gamma)
+		if math.Abs(i-want) > 1e-6*want {
+			t.Errorf("%+v: I = %v, want %v", tc, i, want)
+		}
+		gamma, err := m.EmbeddedDecay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gamma-tc.gamma) > 1e-9 {
+			t.Errorf("%+v: decay = %v", tc, gamma)
+		}
+	}
+}
+
+func TestCorrelatedH2GeometricACF(t *testing.T) {
+	h, err := BalancedH2(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CorrelatedH2(h, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := m.AutocorrelationLag(1)
+	for k := 2; k <= 6; k++ {
+		want := r1 * math.Pow(0.8, float64(k-1))
+		if got := m.AutocorrelationLag(k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("rho_%d = %v, want geometric %v", k, got, want)
+		}
+	}
+	// rho1 = gamma*(scv-1)/(2*scv) in this family.
+	want := 0.8 * 3 / 8
+	if math.Abs(r1-want) > 1e-9 {
+		t.Errorf("rho1 = %v, want %v", r1, want)
+	}
+}
+
+func TestCorrelatedH2Errors(t *testing.T) {
+	h, _ := BalancedH2(1, 3)
+	if _, err := CorrelatedH2(h, 1.0); err == nil {
+		t.Error("expected error for gamma = 1")
+	}
+	if _, err := CorrelatedH2(h, -0.1); err == nil {
+		t.Error("expected error for negative gamma")
+	}
+	if _, err := CorrelatedH2(H2Params{P: 0.5, Rate1: 0, Rate2: 1}, 0.5); err == nil {
+		t.Error("expected error for zero rate")
+	}
+}
+
+func TestCorrelatedH2DegenerateMixture(t *testing.T) {
+	// P = 1 collapses to a single phase: must return a Poisson process.
+	m, err := CorrelatedH2(H2Params{P: 1, Rate1: 2, Rate2: 5}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 1 {
+		t.Errorf("order = %d, want 1", m.Order())
+	}
+	if math.Abs(m.Mean()-0.5) > 1e-12 {
+		t.Errorf("mean = %v, want 0.5", m.Mean())
+	}
+}
+
+func TestBalancedH2(t *testing.T) {
+	h, err := BalancedH2(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mean()-2) > 1e-12 {
+		t.Errorf("mean = %v, want 2", h.Mean())
+	}
+	if math.Abs(h.SCV()-5) > 1e-9 {
+		t.Errorf("SCV = %v, want 5", h.SCV())
+	}
+	if _, err := BalancedH2(1, 0.5); err == nil {
+		t.Error("expected error for SCV < 1")
+	}
+	if _, err := BalancedH2(-1, 3); err == nil {
+		t.Error("expected error for negative mean")
+	}
+	// SCV = 1 degenerates to exponential.
+	h1, err := BalancedH2(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.P != 1 || math.Abs(h1.Mean()-2) > 1e-12 {
+		t.Errorf("SCV=1 balanced H2 = %+v", h1)
+	}
+}
+
+func TestScalePreservesShape(t *testing.T) {
+	h, _ := BalancedH2(1, 3)
+	m, err := CorrelatedH2(h, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := m.Scale(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.Mean()-0.02) > 1e-9 {
+		t.Errorf("scaled mean = %v, want 0.02", scaled.Mean())
+	}
+	i0, _ := m.IndexOfDispersion()
+	i1, err := scaled.IndexOfDispersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i0-i1) > 1e-6*i0 {
+		t.Errorf("scaling changed I: %v -> %v", i0, i1)
+	}
+	if math.Abs(scaled.SCV()-m.SCV()) > 1e-9 {
+		t.Errorf("scaling changed SCV: %v -> %v", m.SCV(), scaled.SCV())
+	}
+	if _, err := m.Scale(0); err == nil {
+		t.Error("expected error for zero target mean")
+	}
+}
+
+func TestSampleMatchesAnalyticDescriptors(t *testing.T) {
+	h, _ := BalancedH2(1, 3)
+	m, err := CorrelatedH2(h, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Sample(200000, xrand.New(31))
+	if math.Abs(tr.Mean()-m.Mean()) > 0.03*m.Mean() {
+		t.Errorf("sampled mean = %v, analytic %v", tr.Mean(), m.Mean())
+	}
+	if math.Abs(tr.SCV()-m.SCV()) > 0.15*m.SCV() {
+		t.Errorf("sampled SCV = %v, analytic %v", tr.SCV(), m.SCV())
+	}
+	r1, err := stats.Autocorrelation(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.AutocorrelationLag(1)
+	if math.Abs(r1-want) > 0.05 {
+		t.Errorf("sampled rho1 = %v, analytic %v", r1, want)
+	}
+}
+
+func TestSampledTraceDispersionMatchesAnalytic(t *testing.T) {
+	// Cross-validation: the trace-based counting estimator applied to a
+	// trace sampled from a MAP should recover the MAP's analytic I.
+	h, _ := BalancedH2(1, 3)
+	m, err := CorrelatedH2(h, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := m.IndexOfDispersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Sample(300000, xrand.New(37))
+	measured, err := tr.IndexOfDispersion(trace.DispersionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := measured / analytic
+	t.Logf("analytic I = %.1f, measured I = %.1f", analytic, measured)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("measured I = %v vs analytic %v", measured, analytic)
+	}
+}
+
+func TestMMPP2SampleRate(t *testing.T) {
+	m, err := MMPP2(10, 1, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Sample(100000, xrand.New(41))
+	// Long-run completion rate ~ fundamental rate.
+	rate := float64(len(tr)) / tr.Total()
+	if math.Abs(rate-m.Rate()) > 0.1*m.Rate() {
+		t.Errorf("sampled rate = %v, analytic %v", rate, m.Rate())
+	}
+}
+
+func TestEmbeddedDecayRequiresMAP2(t *testing.T) {
+	if _, err := Poisson(1).EmbeddedDecay(); err == nil {
+		t.Error("expected ErrNotMAP2 for order-1 MAP")
+	}
+}
+
+func TestPercentileMatchesMarginal(t *testing.T) {
+	h, _ := BalancedH2(1, 3)
+	m, err := CorrelatedH2(h, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p95, err := m.Percentile(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with the direct H2 quantile.
+	direct, err := h2Quantile(h, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p95-direct) > 1e-6*direct {
+		t.Errorf("MAP p95 = %v, direct H2 p95 = %v", p95, direct)
+	}
+}
+
+// Property: for any valid (scv, gamma), the constructed MAP's analytic I
+// matches the closed form and the marginal mean/SCV are preserved.
+func TestPropCorrelatedH2Consistency(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		mean := 0.01 + 2*src.Float64()
+		scv := 1.1 + 20*src.Float64()
+		gamma := src.Float64() * 0.98
+		h, err := BalancedH2(mean, scv)
+		if err != nil {
+			return false
+		}
+		m, err := CorrelatedH2(h, gamma)
+		if err != nil {
+			return false
+		}
+		i, err := m.IndexOfDispersion()
+		if err != nil {
+			return false
+		}
+		want := TheoreticalI(scv, gamma)
+		return math.Abs(m.Mean()-mean) < 1e-6*mean &&
+			math.Abs(m.SCV()-scv) < 1e-5*scv &&
+			math.Abs(i-want) < 1e-5*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: time-stationary and embedded stationary vectors are proper
+// distributions for random MMPP2 processes.
+func TestPropStationaryVectorsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		m, err := MMPP2(0.1+10*src.Float64(), 0.1+10*src.Float64(),
+			0.01+src.Float64(), 0.01+src.Float64())
+		if err != nil {
+			return false
+		}
+		sum1, sum2 := 0.0, 0.0
+		for _, v := range m.Theta() {
+			if v < -1e-12 {
+				return false
+			}
+			sum1 += v
+		}
+		for _, v := range m.EmbeddedStationary() {
+			if v < -1e-12 {
+				return false
+			}
+			sum2 += v
+		}
+		return math.Abs(sum1-1) < 1e-9 && math.Abs(sum2-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitMMPP2Counts constructs a two-state MMPP from counting-process
+// statistics: the fundamental rate lambda, the asymptotic index of
+// dispersion for counts I, and the burst time scale (the mean sojourn of
+// the modulating chain, i.e., how long a bursty epoch lasts). This is the
+// classical countingprocess route to MMPP fitting (in the spirit of
+// Heffes & Lucantoni), complementary to FitThreePoint's interarrival
+// route: use it when measurements describe epochs ("the database slows
+// for ~3 s bursts") rather than per-request percentiles.
+//
+// The construction uses a symmetric modulating chain (q12 = q21 = nu) and
+// splits the rate between a slow and a fast state. For the symmetric
+// MMPP2 with rates r1 = lambda(1+a) and r2 = lambda(1-a):
+//
+//	I = 1 + lambda * a^2 / nu,
+//
+// so a is solved from the targets; burstScale = 1/(2 nu) is the epoch
+// time constant of the modulating chain.
+func FitMMPP2Counts(lambda, indexOfDispersion, burstScale float64) (*MAP, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("markov: rate %v must be > 0", lambda)
+	}
+	if indexOfDispersion <= 1 {
+		// No overdispersion to model: a Poisson process is exact.
+		return Poisson(lambda), nil
+	}
+	if burstScale <= 0 {
+		return nil, fmt.Errorf("markov: burst scale %v must be > 0", burstScale)
+	}
+	nu := 1 / (2 * burstScale)
+	a := math.Sqrt((indexOfDispersion - 1) * nu / lambda)
+	if a >= 1 {
+		// The requested I is not reachable at this time scale with
+		// non-negative rates; saturate with an on-off source (r2 = 0)
+		// and stretch the epochs instead.
+		a = 1
+		nu = lambda * a * a / (indexOfDispersion - 1)
+	}
+	r1 := lambda * (1 + a)
+	r2 := lambda * (1 - a)
+	if r2 < 0 {
+		r2 = 0 // a = 1 saturates into an interrupted Poisson process
+	}
+	return MMPP2(r1, r2, nu, nu)
+}
+
+// CountingDescriptors reports the counting-process view of a MAP: the
+// fundamental rate and the asymptotic index of dispersion for counts.
+// For a MAP the two views coincide asymptotically: the counting I equals
+// the interarrival-based I of Eq. (1).
+type CountingDescriptors struct {
+	Rate float64
+	I    float64
+}
+
+// Counting returns the counting descriptors of the process.
+func (m *MAP) Counting() (CountingDescriptors, error) {
+	i, err := m.IndexOfDispersion()
+	if err != nil {
+		return CountingDescriptors{}, err
+	}
+	return CountingDescriptors{Rate: m.Rate(), I: i}, nil
+}

@@ -1,0 +1,120 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestFitMMPP2CountsHitsTargets(t *testing.T) {
+	for _, tc := range []struct{ lambda, i, scale float64 }{
+		{100, 10, 2.5},
+		{10, 50, 5},
+		{200, 3, 1},
+		{50, 150, 10},
+	} {
+		m, err := FitMMPP2Counts(tc.lambda, tc.i, tc.scale)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		cd, err := m.Counting()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cd.Rate-tc.lambda) > 1e-6*tc.lambda {
+			t.Errorf("%+v: rate = %v", tc, cd.Rate)
+		}
+		if math.Abs(cd.I-tc.i) > 0.02*tc.i {
+			t.Errorf("%+v: I = %v, want %v", tc, cd.I, tc.i)
+		}
+	}
+}
+
+func TestFitMMPP2CountsPoissonRegime(t *testing.T) {
+	m, err := FitMMPP2Counts(10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 1 {
+		t.Errorf("I=1 should return a Poisson process, got order %d", m.Order())
+	}
+	// I just below 1 also degenerates to Poisson (counts route cannot
+	// express underdispersion).
+	m2, err := FitMMPP2Counts(10, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Order() != 1 {
+		t.Errorf("I<1 should return a Poisson process, got order %d", m2.Order())
+	}
+}
+
+func TestFitMMPP2CountsSaturatesToOnOff(t *testing.T) {
+	// Huge I at a short burst scale forces the on-off regime: the fit
+	// must still hit rate and I by stretching epochs.
+	m, err := FitMMPP2Counts(5, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := m.Counting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cd.Rate-5) > 1e-6*5 {
+		t.Errorf("rate = %v, want 5", cd.Rate)
+	}
+	if math.Abs(cd.I-500) > 0.05*500 {
+		t.Errorf("I = %v, want ~500", cd.I)
+	}
+	// State 2 must be silent (interrupted Poisson).
+	if m.D1.At(1, 1) != 0 {
+		t.Errorf("expected on-off structure, D1[1][1] = %v", m.D1.At(1, 1))
+	}
+}
+
+func TestFitMMPP2CountsErrors(t *testing.T) {
+	if _, err := FitMMPP2Counts(0, 10, 1); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := FitMMPP2Counts(10, 10, 0); err == nil {
+		t.Error("expected error for zero burst scale")
+	}
+}
+
+func TestFitMMPP2CountsSampledRate(t *testing.T) {
+	m, err := FitMMPP2Counts(50, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Sample(200000, xrand.New(3))
+	rate := float64(len(tr)) / tr.Total()
+	if math.Abs(rate-50) > 2 {
+		t.Errorf("sampled rate = %v, want ~50", rate)
+	}
+}
+
+// Property: the counts-based fit matches rate exactly and I within a few
+// percent across the parameter space.
+func TestPropFitMMPP2Counts(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		lambda := 1 + 200*src.Float64()
+		i := 1.5 + 300*src.Float64()
+		scale := 0.5 + 10*src.Float64()
+		m, err := FitMMPP2Counts(lambda, i, scale)
+		if err != nil {
+			return false
+		}
+		cd, err := m.Counting()
+		if err != nil {
+			return false
+		}
+		return math.Abs(cd.Rate-lambda) < 1e-6*lambda &&
+			math.Abs(cd.I-i) < 0.05*i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

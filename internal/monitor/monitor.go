@@ -1,0 +1,153 @@
+// Package monitor is the coarse-measurement substrate standing in for the
+// commercial tooling of the paper's testbed: the sar utility (per-second
+// CPU utilization) and HP (Mercury) Diagnostics (per-window transaction
+// completion counts). It samples des stations on a fixed schedule and
+// emits exactly the data shape the paper's estimation pipeline consumes:
+// utilization samples U_k and completion counts n_k per period.
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/trace"
+)
+
+// StationMonitor periodically samples one station's utilization and
+// completion count, producing trace.UtilizationSamples.
+type StationMonitor struct {
+	station des.Station
+	period  float64
+
+	lastBusy  float64
+	lastCompl int64
+
+	utils  []float64
+	counts []float64
+}
+
+// Watch attaches a monitor to station, sampling every period seconds
+// until the simulation ends. Sampling events are self-rescheduling.
+func Watch(sim *des.Sim, station des.Station, period float64) *StationMonitor {
+	if period <= 0 {
+		panic(fmt.Sprintf("monitor: period %v must be > 0", period))
+	}
+	m := &StationMonitor{station: station, period: period}
+	var tick func()
+	tick = func() {
+		m.sample()
+		sim.Schedule(period, tick)
+	}
+	sim.Schedule(period, tick)
+	return m
+}
+
+func (m *StationMonitor) sample() {
+	busy := m.station.BusyTime()
+	compl := m.station.Completions()
+	u := (busy - m.lastBusy) / m.period
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1 // guard against floating-point overshoot
+	}
+	m.utils = append(m.utils, u)
+	m.counts = append(m.counts, float64(compl-m.lastCompl))
+	m.lastBusy = busy
+	m.lastCompl = compl
+}
+
+// Samples returns the collected measurement series. The trim arguments
+// drop warm-up and cool-down periods (in numbers of samples) as the paper
+// does with its first and last five minutes.
+func (m *StationMonitor) Samples(trimHead, trimTail int) (trace.UtilizationSamples, error) {
+	n := len(m.utils)
+	if trimHead < 0 || trimTail < 0 || trimHead+trimTail >= n {
+		return trace.UtilizationSamples{}, fmt.Errorf(
+			"monitor: cannot trim %d+%d from %d samples", trimHead, trimTail, n)
+	}
+	return trace.UtilizationSamples{
+		PeriodSeconds: m.period,
+		Utilization:   append([]float64(nil), m.utils[trimHead:n-trimTail]...),
+		Completions:   append([]float64(nil), m.counts[trimHead:n-trimTail]...),
+	}, nil
+}
+
+// Len returns the number of samples collected so far.
+func (m *StationMonitor) Len() int { return len(m.utils) }
+
+// SeriesRecorder samples an arbitrary scalar (queue length, in-system
+// count, utilization) at a fixed period, for the time-series figures
+// (Figs. 5-8).
+type SeriesRecorder struct {
+	period float64
+	values []float64
+}
+
+// Record schedules fn() to be sampled every period seconds.
+func Record(sim *des.Sim, period float64, fn func() float64) *SeriesRecorder {
+	if period <= 0 {
+		panic(fmt.Sprintf("monitor: period %v must be > 0", period))
+	}
+	r := &SeriesRecorder{period: period}
+	var tick func()
+	tick = func() {
+		r.values = append(r.values, fn())
+		sim.Schedule(period, tick)
+	}
+	sim.Schedule(period, tick)
+	return r
+}
+
+// Values returns the recorded series.
+func (r *SeriesRecorder) Values() []float64 { return append([]float64(nil), r.values...) }
+
+// Window returns the subseries [from, to) with bounds clamping.
+func (r *SeriesRecorder) Window(from, to int) []float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(r.values) {
+		to = len(r.values)
+	}
+	if from >= to {
+		return nil
+	}
+	return append([]float64(nil), r.values[from:to]...)
+}
+
+// Period returns the sampling period in seconds.
+func (r *SeriesRecorder) Period() float64 { return r.period }
+
+// UtilizationRecorder tracks windowed utilization of a station at a fine
+// period (the sar substitute for Fig. 5's one-second timelines).
+type UtilizationRecorder struct {
+	rec      *SeriesRecorder
+	lastBusy float64
+}
+
+// RecordUtilization samples station utilization over consecutive windows
+// of the given period.
+func RecordUtilization(sim *des.Sim, station des.Station, period float64) *UtilizationRecorder {
+	u := &UtilizationRecorder{}
+	u.rec = Record(sim, period, func() float64 {
+		busy := station.BusyTime()
+		util := (busy - u.lastBusy) / period
+		u.lastBusy = busy
+		if util < 0 {
+			util = 0
+		}
+		if util > 1 {
+			util = 1
+		}
+		return util
+	})
+	return u
+}
+
+// Values returns the per-window utilizations recorded so far.
+func (u *UtilizationRecorder) Values() []float64 { return u.rec.Values() }
+
+// Window returns utilizations in the sample range [from, to).
+func (u *UtilizationRecorder) Window(from, to int) []float64 { return u.rec.Window(from, to) }

@@ -1,0 +1,146 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/xrand"
+)
+
+// driveStation runs an open-loop Poisson arrival process into a FCFS
+// station for the given horizon.
+func driveStation(seed int64, horizon, rate, meanDemand float64) (*des.Sim, *des.FCFSStation) {
+	sim := des.NewSim()
+	src := xrand.New(seed)
+	st := des.NewFCFSStation(sim, "q", func(*des.Job) {})
+	var arrive func()
+	arrive = func() {
+		st.Arrive(&des.Job{Demand: src.Exp(meanDemand)})
+		sim.Schedule(src.ExpRate(rate), arrive)
+	}
+	sim.Schedule(src.ExpRate(rate), arrive)
+	return sim, st
+}
+
+func TestStationMonitorBasics(t *testing.T) {
+	sim, st := driveStation(1, 0, 10, 0.05) // rho = 0.5
+	m := Watch(sim, st, 5)
+	sim.RunUntil(1000)
+	if m.Len() != 200 {
+		t.Fatalf("samples = %d, want 200", m.Len())
+	}
+	u, err := m.Samples(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("samples invalid: %v", err)
+	}
+	// Mean utilization ~ 0.5, total completions ~ 10*1000.
+	meanU := 0.0
+	total := 0.0
+	for i := range u.Utilization {
+		meanU += u.Utilization[i]
+		total += u.Completions[i]
+	}
+	meanU /= float64(len(u.Utilization))
+	if math.Abs(meanU-0.5) > 0.05 {
+		t.Errorf("mean utilization = %v, want ~0.5", meanU)
+	}
+	if math.Abs(total-10000) > 500 {
+		t.Errorf("total completions = %v, want ~10000", total)
+	}
+}
+
+func TestStationMonitorMeanServiceTime(t *testing.T) {
+	sim, st := driveStation(2, 0, 8, 0.05)
+	m := Watch(sim, st, 5)
+	sim.RunUntil(2000)
+	u, err := m.Samples(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := u.MeanServiceTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.05) > 0.005 {
+		t.Errorf("estimated S = %v, want ~0.05", s)
+	}
+}
+
+func TestSamplesTrim(t *testing.T) {
+	sim, st := driveStation(3, 0, 10, 0.02)
+	m := Watch(sim, st, 1)
+	sim.RunUntil(100)
+	full, err := m.Samples(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := m.Samples(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Utilization) != len(full.Utilization)-15 {
+		t.Errorf("trimmed length = %d, want %d", len(trimmed.Utilization), len(full.Utilization)-15)
+	}
+	if _, err := m.Samples(60, 60); err == nil {
+		t.Error("expected error when trimming more than available")
+	}
+}
+
+func TestWatchPanicsOnBadPeriod(t *testing.T) {
+	sim, st := driveStation(4, 0, 1, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive period")
+		}
+	}()
+	Watch(sim, st, 0)
+}
+
+func TestSeriesRecorder(t *testing.T) {
+	sim := des.NewSim()
+	v := 0.0
+	sim.Schedule(2.5, func() { v = 7 })
+	r := Record(sim, 1, func() float64 { return v })
+	sim.RunUntil(5)
+	got := r.Values()
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	if got[0] != 0 || got[1] != 0 || got[2] != 7 || got[4] != 7 {
+		t.Errorf("series = %v", got)
+	}
+	if w := r.Window(1, 3); len(w) != 2 || w[1] != 7 {
+		t.Errorf("window = %v", w)
+	}
+	if w := r.Window(4, 2); w != nil {
+		t.Errorf("inverted window should be nil, got %v", w)
+	}
+	if r.Period() != 1 {
+		t.Errorf("period = %v", r.Period())
+	}
+}
+
+func TestUtilizationRecorderTracksBusyFraction(t *testing.T) {
+	sim := des.NewSim()
+	st := des.NewPSStation(sim, "ps", func(*des.Job) {})
+	rec := RecordUtilization(sim, st, 1)
+	// One job of demand 0.5 at t=0: first window 50% busy, rest idle.
+	st.Arrive(&des.Job{Demand: 0.5})
+	sim.RunUntil(4)
+	got := rec.Values()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	if math.Abs(got[0]-0.5) > 1e-9 {
+		t.Errorf("window 0 utilization = %v, want 0.5", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if got[i] != 0 {
+			t.Errorf("window %d utilization = %v, want 0", i, got[i])
+		}
+	}
+}

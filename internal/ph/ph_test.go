@@ -1,0 +1,214 @@
+package ph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestExponentialMomentsAndCDF(t *testing.T) {
+	d := Exponential(2) // mean 0.5
+	if math.Abs(d.Mean()-0.5) > 1e-12 {
+		t.Errorf("mean = %v, want 0.5", d.Mean())
+	}
+	if math.Abs(d.SCV()-1) > 1e-12 {
+		t.Errorf("SCV = %v, want 1", d.SCV())
+	}
+	// CDF at mean: 1 - e^{-1}.
+	want := 1 - math.Exp(-1)
+	if got := d.CDF(0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CDF(0.5) = %v, want %v", got, want)
+	}
+	if d.CDF(0) != 0 || d.CDF(-1) != 0 {
+		t.Error("CDF at non-positive x should be 0")
+	}
+}
+
+func TestExponentialQuantile(t *testing.T) {
+	d := Exponential(1)
+	for _, q := range []float64{0.1, 0.5, 0.95, 0.99} {
+		got, err := d.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -math.Log(1 - q)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileRangeErrors(t *testing.T) {
+	d := Exponential(1)
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := d.Quantile(q); err == nil {
+			t.Errorf("Quantile(%v) should error", q)
+		}
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	d := Erlang(4, 2)
+	if math.Abs(d.Mean()-2) > 1e-10 {
+		t.Errorf("Erlang mean = %v, want 2", d.Mean())
+	}
+	if math.Abs(d.SCV()-0.25) > 1e-10 {
+		t.Errorf("Erlang SCV = %v, want 0.25", d.SCV())
+	}
+	// Third moment of Erlang(k, mean): mean^3 (k+1)(k+2)/k^2.
+	want := 8.0 * 5 * 6 / 16
+	if math.Abs(d.Moment(3)-want) > 1e-9 {
+		t.Errorf("Erlang m3 = %v, want %v", d.Moment(3), want)
+	}
+}
+
+func TestHyper2Moments(t *testing.T) {
+	// H2(p=0.4, r1=1, r2=10): mean = .4/1 + .6/10 = 0.46.
+	d := Hyper2(0.4, 1, 10)
+	if math.Abs(d.Mean()-0.46) > 1e-12 {
+		t.Errorf("H2 mean = %v, want 0.46", d.Mean())
+	}
+	m2 := 2 * (0.4/1 + 0.6/100)
+	if math.Abs(d.Moment(2)-m2) > 1e-12 {
+		t.Errorf("H2 m2 = %v, want %v", d.Moment(2), m2)
+	}
+}
+
+func TestCDFMonotoneAndLimits(t *testing.T) {
+	d := Hyper2(0.3, 0.5, 5)
+	prev := -1.0
+	for x := 0.0; x < 20; x += 0.25 {
+		c := d.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF(%v) = %v out of [0,1]", x, c)
+		}
+		prev = c
+	}
+	if d.CDF(200) < 0.999999 {
+		t.Errorf("CDF should approach 1, got %v", d.CDF(200))
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	d := Erlang(3, 1)
+	// Trapezoidal integration of the PDF should match the CDF.
+	const n = 2000
+	const h = 2.0 / n
+	integral := 0.0
+	for i := 0; i < n; i++ {
+		x := float64(i) * h
+		integral += h * (d.PDF(x) + d.PDF(x+h)) / 2
+	}
+	if math.Abs(integral-d.CDF(2)) > 1e-4 {
+		t.Errorf("integral PDF = %v, CDF(2) = %v", integral, d.CDF(2))
+	}
+}
+
+func TestSampleMatchesMoments(t *testing.T) {
+	d := Hyper2(0.9, 2, 0.1)
+	src := xrand.New(17)
+	var acc stats.Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(d.Sample(src))
+	}
+	if math.Abs(acc.Mean()-d.Mean()) > 0.02*d.Mean() {
+		t.Errorf("sample mean = %v, want ~%v", acc.Mean(), d.Mean())
+	}
+	if math.Abs(acc.Variance()-d.Variance()) > 0.06*d.Variance() {
+		t.Errorf("sample variance = %v, want ~%v", acc.Variance(), d.Variance())
+	}
+}
+
+func TestErlangWithTransitionsSample(t *testing.T) {
+	// Erlang has internal transitions, exercising the jump branch in Sample.
+	d := Erlang(5, 1)
+	src := xrand.New(23)
+	var acc stats.Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(d.Sample(src))
+	}
+	if math.Abs(acc.Mean()-1) > 0.01 {
+		t.Errorf("Erlang sample mean = %v, want ~1", acc.Mean())
+	}
+	if math.Abs(acc.SCV()-0.2) > 0.01 {
+		t.Errorf("Erlang sample SCV = %v, want ~0.2", acc.SCV())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		alpha []float64
+		t     *matrix.Dense
+	}{
+		{"alpha length", []float64{1}, matrix.NewDense(2, 2)},
+		{"alpha sum", []float64{0.5, 0.2}, matrix.FromRows([][]float64{{-1, 0}, {0, -1}})},
+		{"negative alpha", []float64{-0.5, 1.5}, matrix.FromRows([][]float64{{-1, 0}, {0, -1}})},
+		{"positive diagonal", []float64{1, 0}, matrix.FromRows([][]float64{{1, 0}, {0, -1}})},
+		{"negative off-diagonal", []float64{1, 0}, matrix.FromRows([][]float64{{-1, -1}, {0, -1}})},
+		{"row sum positive", []float64{1, 0}, matrix.FromRows([][]float64{{-1, 2}, {0, -1}})},
+		{"non-absorbing", []float64{0.5, 0.5}, matrix.FromRows([][]float64{{-1, 1}, {1, -1}})},
+	}
+	for _, c := range cases {
+		if _, err := New(c.alpha, c.t); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	if _, err := New([]float64{1}, matrix.NewDense(1, 2)); err == nil {
+		t.Error("expected error for non-square generator")
+	}
+}
+
+// Property: quantile inverts the CDF for random H2 distributions.
+func TestPropQuantileInvertsCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		p := 0.05 + 0.9*src.Float64()
+		r1 := 0.1 + 5*src.Float64()
+		r2 := 0.1 + 5*src.Float64()
+		d := Hyper2(p, r1, r2)
+		for _, q := range []float64{0.25, 0.5, 0.95} {
+			x, err := d.Quantile(q)
+			if err != nil {
+				return false
+			}
+			if math.Abs(d.CDF(x)-q) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean from Moment matches integral of survival function.
+func TestPropMeanMatchesSurvivalIntegral(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		k := 1 + src.Intn(4)
+		mean := 0.5 + 2*src.Float64()
+		d := Erlang(k, mean)
+		// integral of (1 - CDF) over [0, inf) ~ mean.
+		h := mean / 200
+		integral := 0.0
+		for x := 0.0; x < mean*30; x += h {
+			integral += h * (1 - d.CDF(x+h/2))
+		}
+		return math.Abs(integral-d.Mean()) < 0.02*d.Mean()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package queues
+
+import "fmt"
+
+// HeavyTrafficWait returns the classical heavy-traffic approximation of
+// the mean waiting time in a single-server FCFS queue whose arrival
+// process has asymptotic index of dispersion I and whose service times
+// have squared coefficient of variation scvService:
+//
+//	W ~ meanService * rho/(1-rho) * (I + scvService)/2.
+//
+// The paper's related work (Section 5, citing Sriram & Whitt) notes that
+// in heavy traffic the G/M/1 queue is completely determined by the mean
+// service time and the index of dispersion of the arrivals; this formula
+// is the standard QNA-style generalization. It quantifies directly how
+// the waiting time scales linearly with I — the analytic backbone of
+// Table 1's empirical observations.
+func HeavyTrafficWait(rho, meanService, indexOfDispersion, scvService float64) (float64, error) {
+	if rho <= 0 || rho >= 1 {
+		return 0, fmt.Errorf("queues: utilization %v out of (0,1)", rho)
+	}
+	if meanService <= 0 {
+		return 0, fmt.Errorf("queues: mean service %v must be > 0", meanService)
+	}
+	if indexOfDispersion <= 0 {
+		return 0, fmt.Errorf("queues: index of dispersion %v must be > 0", indexOfDispersion)
+	}
+	if scvService < 0 {
+		return 0, fmt.Errorf("queues: service SCV %v must be >= 0", scvService)
+	}
+	return meanService * rho / (1 - rho) * (indexOfDispersion + scvService) / 2, nil
+}
+
+// HeavyTrafficResponse returns mean waiting plus one service time.
+func HeavyTrafficResponse(rho, meanService, indexOfDispersion, scvService float64) (float64, error) {
+	w, err := HeavyTrafficWait(rho, meanService, indexOfDispersion, scvService)
+	if err != nil {
+		return 0, err
+	}
+	return w + meanService, nil
+}

@@ -1,0 +1,131 @@
+// Package queues provides single-queue simulators built on the des
+// kernel, primarily the M/Trace/1 queue of the paper's Section 2: Poisson
+// arrivals into a FCFS server whose service times are replayed from a
+// trace *in order*, so that the trace's burstiness — not just its marginal
+// distribution — shapes the queueing behaviour (Table 1). M/G/1 and
+// M/MAP/1 variants and the Pollaczek-Khinchine check are included.
+package queues
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/markov"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Result summarizes a single-queue simulation run.
+type Result struct {
+	// Jobs is the number of completed jobs measured.
+	Jobs int
+	// MeanResponse and P95Response are the response-time statistics
+	// (waiting + service), the two columns of Table 1.
+	MeanResponse float64
+	P95Response  float64
+	// Utilization is the measured fraction of busy time.
+	Utilization float64
+	// MeanWait is the mean time spent waiting before service.
+	MeanWait float64
+}
+
+// MTrace1 simulates an M/Trace/1 queue: Poisson arrivals with the given
+// rate, one FCFS server, service times taken from tr in sequence. The
+// run ends when every trace sample has been served.
+func MTrace1(tr trace.T, arrivalRate float64, src *xrand.Source) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if arrivalRate <= 0 {
+		return Result{}, fmt.Errorf("queues: arrival rate %v must be > 0", arrivalRate)
+	}
+	if src == nil {
+		return Result{}, errors.New("queues: nil random source")
+	}
+	sim := des.NewSim()
+	responses := make([]float64, 0, len(tr))
+	var waitAcc stats.Accumulator
+	station := des.NewFCFSStation(sim, "mtrace1", func(j *des.Job) {
+		submit := j.Ctx.(float64)
+		responses = append(responses, sim.Now()-submit)
+		waitAcc.Add(sim.Now() - submit - j.Demand)
+	})
+	next := 0
+	var arrive func()
+	arrive = func() {
+		if next >= len(tr) {
+			return
+		}
+		station.Arrive(&des.Job{ID: int64(next), Demand: tr[next], Ctx: sim.Now()})
+		next++
+		if next < len(tr) {
+			sim.Schedule(src.ExpRate(arrivalRate), arrive)
+		}
+	}
+	sim.Schedule(src.ExpRate(arrivalRate), arrive)
+	sim.Drain()
+	if len(responses) != len(tr) {
+		return Result{}, fmt.Errorf("queues: simulation ended with %d of %d jobs served",
+			len(responses), len(tr))
+	}
+	p95, err := stats.Percentile(responses, 95)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Jobs:         len(responses),
+		MeanResponse: stats.Mean(responses),
+		P95Response:  p95,
+		Utilization:  station.BusyTime() / sim.Now(),
+		MeanWait:     waitAcc.Mean(),
+	}, nil
+}
+
+// MG1 simulates an M/G/1 FCFS queue for n jobs with i.i.d. service times
+// drawn from sample(). Equivalent to MTrace1 on a freshly drawn i.i.d.
+// trace; provided for workloads defined by a distribution rather than a
+// trace.
+func MG1(n int, arrivalRate float64, sample func() float64, src *xrand.Source) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("queues: job count %d must be >= 1", n)
+	}
+	tr := make(trace.T, n)
+	for i := range tr {
+		tr[i] = sample()
+	}
+	return MTrace1(tr, arrivalRate, src)
+}
+
+// MMAP1 simulates an M/MAP/1 FCFS queue: the service times are a sampled
+// path of the given MAP, so consecutive services carry the MAP's
+// burstiness — this is the simulation counterpart of the paper's
+// MAP-service queueing stations.
+func MMAP1(n int, arrivalRate float64, service *markov.MAP, src *xrand.Source) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("queues: job count %d must be >= 1", n)
+	}
+	if service == nil {
+		return Result{}, errors.New("queues: nil service MAP")
+	}
+	tr := service.Sample(n, src)
+	return MTrace1(tr, arrivalRate, src)
+}
+
+// PollaczekKhinchine returns the analytic mean response time of an M/G/1
+// FCFS queue with i.i.d. service times of the given first two moments:
+// R = m1 + lambda*m2 / (2*(1-rho)). The paper stresses (Section 2,
+// footnote 3) that this formula does NOT hold for bursty traces — the
+// gap between this value and an MTrace1 measurement is a direct measure
+// of the burstiness penalty.
+func PollaczekKhinchine(arrivalRate, m1, m2 float64) (float64, error) {
+	rho := arrivalRate * m1
+	if rho >= 1 {
+		return 0, fmt.Errorf("queues: unstable queue (rho = %v)", rho)
+	}
+	if m1 <= 0 || m2 <= 0 {
+		return 0, fmt.Errorf("queues: moments (m1=%v, m2=%v) must be > 0", m1, m2)
+	}
+	return m1 + arrivalRate*m2/(2*(1-rho)), nil
+}

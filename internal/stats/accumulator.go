@@ -1,0 +1,108 @@
+package stats
+
+import "math"
+
+// Accumulator ingests observations one at a time and maintains running
+// moments without storing the sample. It uses Welford's numerically stable
+// update. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	m3   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add ingests one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.sum += x
+	n := float64(a.n)
+	delta := x - a.mean
+	deltaN := delta / n
+	term1 := delta * deltaN * (n - 1)
+	a.mean += deltaN
+	a.m3 += term1*deltaN*(n-2) - 3*deltaN*a.m2
+	a.m2 += term1
+}
+
+// AddAll ingests every observation in xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations ingested.
+func (a *Accumulator) N() int { return a.n }
+
+// Sum returns the sum of all observations.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the running mean, or NaN if no observations were ingested.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance returns the unbiased running variance, or NaN if n < 2.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased running standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// SCV returns the running squared coefficient of variation.
+func (a *Accumulator) SCV() float64 {
+	m := a.Mean()
+	if m == 0 || math.IsNaN(m) {
+		return math.NaN()
+	}
+	return a.Variance() / (m * m)
+}
+
+// Skewness returns the running sample skewness, or NaN if n < 3.
+func (a *Accumulator) Skewness() float64 {
+	if a.n < 3 || a.m2 <= 0 {
+		return math.NaN()
+	}
+	n := float64(a.n)
+	return math.Sqrt(n) * a.m3 / math.Pow(a.m2, 1.5)
+}
+
+// Min returns the smallest observation, or NaN if none.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest observation, or NaN if none.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Reset clears the accumulator to its zero state.
+func (a *Accumulator) Reset() { *a = Accumulator{} }

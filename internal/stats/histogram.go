@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Observations outside
+// the range are counted in the under/overflow counters. The zero value is
+// not usable; construct with NewHistogram.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	n         int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the total number of observations (including out-of-range).
+func (h *Histogram) N() int { return h.n }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// Quantile returns an approximation of the q-quantile (0 < q < 1) by
+// linear interpolation within the containing bin. Out-of-range mass is
+// attributed to the boundaries. It returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.n)
+	cum := float64(h.Underflow)
+	if target <= cum {
+		return h.Lo
+	}
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*w
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII sketch of the histogram, useful in
+// example programs and experiment logs.
+func (h *Histogram) String() string {
+	const width = 40
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "[%8.3f,%8.3f) %7d %s\n",
+			h.Lo+float64(i)*w, h.Lo+float64(i+1)*w, c, strings.Repeat("#", bar))
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.Overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package tpcw
+
+import (
+	"repro/internal/xrand"
+)
+
+// CBMG is a Customer Behavior Model Graph [Menascé & Almeida]: a
+// first-order Markov chain over transaction types describing how a user
+// session navigates the site. Row t is the distribution of the next
+// transaction given the current one is t.
+type CBMG struct {
+	rows [NumTransactions][]float64
+}
+
+// structuralGraph encodes the natural TPC-W page flow: search requests
+// precede search execution, carts lead to registration and purchase
+// confirmation, admin requests precede confirmations, and most pages can
+// return Home.
+func structuralGraph() [NumTransactions][]float64 {
+	var g [NumTransactions][]float64
+	row := func(pairs map[Transaction]float64) []float64 {
+		r := make([]float64, NumTransactions)
+		for t, w := range pairs {
+			r[t] = w
+		}
+		return r
+	}
+	g[Home] = row(map[Transaction]float64{
+		SearchRequest: 0.25, NewProducts: 0.20, BestSellers: 0.20,
+		ProductDetail: 0.20, ShoppingCart: 0.10, OrderInquiry: 0.05,
+	})
+	g[NewProducts] = row(map[Transaction]float64{
+		ProductDetail: 0.60, Home: 0.20, BestSellers: 0.20,
+	})
+	g[BestSellers] = row(map[Transaction]float64{
+		ProductDetail: 0.50, Home: 0.30, SearchRequest: 0.20,
+	})
+	g[ProductDetail] = row(map[Transaction]float64{
+		ShoppingCart: 0.20, SearchRequest: 0.25, Home: 0.30,
+		NewProducts: 0.15, AdminRequest: 0.10,
+	})
+	g[SearchRequest] = row(map[Transaction]float64{
+		ExecuteSearch: 0.95, Home: 0.05,
+	})
+	g[ExecuteSearch] = row(map[Transaction]float64{
+		ProductDetail: 0.45, SearchRequest: 0.20, Home: 0.15, ShoppingCart: 0.20,
+	})
+	g[ShoppingCart] = row(map[Transaction]float64{
+		CustomerRegistration: 0.40, Home: 0.30, ProductDetail: 0.30,
+	})
+	g[CustomerRegistration] = row(map[Transaction]float64{
+		BuyRequest: 0.80, Home: 0.20,
+	})
+	g[BuyRequest] = row(map[Transaction]float64{
+		BuyConfirm: 0.70, Home: 0.30,
+	})
+	g[BuyConfirm] = row(map[Transaction]float64{Home: 1.0})
+	g[OrderInquiry] = row(map[Transaction]float64{
+		OrderDisplay: 0.70, Home: 0.30,
+	})
+	g[OrderDisplay] = row(map[Transaction]float64{Home: 1.0})
+	g[AdminRequest] = row(map[Transaction]float64{
+		AdminConfirm: 0.80, Home: 0.20,
+	})
+	g[AdminConfirm] = row(map[Transaction]float64{Home: 1.0})
+	return g
+}
+
+// NewCBMG builds the navigation chain for a mix: each row blends the
+// structural page flow with the mix's target visit distribution, so
+// sessions follow plausible sequences while the long-run visit shares
+// track the TPC-W mix weights.
+func NewCBMG(mix Mix, structureWeight float64) *CBMG {
+	if structureWeight < 0 {
+		structureWeight = 0
+	}
+	if structureWeight > 1 {
+		structureWeight = 1
+	}
+	structural := structuralGraph()
+	c := &CBMG{}
+	for t := 0; t < NumTransactions; t++ {
+		r := make([]float64, NumTransactions)
+		for n := 0; n < NumTransactions; n++ {
+			r[n] = structureWeight*structural[t][n] + (1-structureWeight)*mix.Weights[n]
+		}
+		c.rows[t] = r
+	}
+	return c
+}
+
+// Next draws the next transaction type given the current one.
+func (c *CBMG) Next(current Transaction, src *xrand.Source) Transaction {
+	return Transaction(src.Choice(c.rows[current]))
+}
+
+// Row returns the transition distribution out of state t.
+func (c *CBMG) Row(t Transaction) []float64 {
+	return append([]float64(nil), c.rows[t]...)
+}

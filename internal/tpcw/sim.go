@@ -1,0 +1,354 @@
+package tpcw
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/monitor"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes one testbed run, mirroring the paper's
+// experimental settings (Section 3.1-3.2).
+type Config struct {
+	// Mix is the transaction mix (browsing/shopping/ordering).
+	Mix Mix
+	// EBs is the number of emulated browsers (concurrent sessions).
+	EBs int
+	// ThinkTime is the mean exponential user think time Z in seconds.
+	ThinkTime float64
+	// Duration is the simulated run length in seconds (the paper runs
+	// 3 h; shorter runs are adequate for the simulator, which has no
+	// JVM warm-up).
+	Duration float64
+	// Warmup and Cooldown are the head/tail seconds excluded from
+	// analysis (the paper discards the first and last 5 minutes).
+	Warmup, Cooldown float64
+	// MonitorPeriod is the coarse measurement window W for utilization
+	// and completion sampling (the paper's Diagnostics resolution, 5 s).
+	MonitorPeriod float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Profiles overrides the per-type service characteristics
+	// (DefaultProfiles when nil).
+	Profiles *[NumTransactions]Profile
+	// StructureWeight blends CBMG structure against mix weights
+	// (default 0.35).
+	StructureWeight float64
+	// TrackSeries enables the 1-second time series used by Figs. 5-8
+	// (utilization, DB queue length, per-type in-system counts).
+	TrackSeries bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ThinkTime == 0 {
+		c.ThinkTime = 0.5
+	}
+	if c.Duration == 0 {
+		c.Duration = 1800
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 120
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 60
+	}
+	if c.MonitorPeriod == 0 {
+		c.MonitorPeriod = 5
+	}
+	if c.StructureWeight == 0 {
+		c.StructureWeight = 0.35
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mix.FrontContention.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mix.DBContention.Validate(); err != nil {
+		return err
+	}
+	if c.EBs < 1 {
+		return fmt.Errorf("tpcw: EBs %d must be >= 1", c.EBs)
+	}
+	if c.ThinkTime <= 0 {
+		return fmt.Errorf("tpcw: think time %v must be > 0", c.ThinkTime)
+	}
+	if c.Warmup+c.Cooldown >= c.Duration {
+		return fmt.Errorf("tpcw: warmup %v + cooldown %v exceed duration %v",
+			c.Warmup, c.Cooldown, c.Duration)
+	}
+	if c.MonitorPeriod <= 0 {
+		return fmt.Errorf("tpcw: monitor period %v must be > 0", c.MonitorPeriod)
+	}
+	return nil
+}
+
+// Result holds everything a run produces: headline metrics, the coarse
+// monitoring streams the estimation pipeline consumes, and the 1-second
+// series behind the paper's time-line figures.
+type Result struct {
+	Config Config
+
+	// Throughput is the transaction completion rate in the measurement
+	// window (transactions/s) — the paper's TPUT metric.
+	Throughput float64
+	// MeanResponse and P95Response summarize transaction response times.
+	MeanResponse float64
+	P95Response  float64
+
+	// FrontSamples and DBSamples are the coarse (U_k, n_k) measurement
+	// streams at MonitorPeriod granularity, warm-up/cool-down trimmed.
+	// DB completions are counted per transaction (the last query of a
+	// transaction closes its DB phase), matching the model abstraction.
+	FrontSamples trace.UtilizationSamples
+	DBSamples    trace.UtilizationSamples
+
+	// AvgUtilFront and AvgUtilDB are mean utilizations in the window.
+	AvgUtilFront, AvgUtilDB float64
+
+	// FrontUtil1s, DBUtil1s, DBQueueLen1s and InSystem1s are 1-second
+	// series (only when Config.TrackSeries): per-second utilizations
+	// (Fig. 5), DB queue length (Fig. 6), and per-type transactions in
+	// system (Figs. 7-8).
+	FrontUtil1s, DBUtil1s []float64
+	DBQueueLen1s          []float64
+	InSystem1s            [NumTransactions][]float64
+
+	// CompletedByType counts transactions completed in the window.
+	CompletedByType [NumTransactions]int64
+	// Completed is the total transactions completed in the window.
+	Completed int64
+
+	// DBContentionFraction and FrontContentionFraction report the share
+	// of simulated time each server spent in a contention epoch.
+	DBContentionFraction    float64
+	FrontContentionFraction float64
+}
+
+// transactionState tracks one in-flight transaction.
+type transactionState struct {
+	eb          *emulatedBrowser
+	txType      Transaction
+	submittedAt float64
+	queriesLeft int
+}
+
+// emulatedBrowser is one closed-loop client session.
+type emulatedBrowser struct {
+	id      int
+	current Transaction
+}
+
+// Run executes one testbed experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	profiles := DefaultProfiles()
+	if cfg.Profiles != nil {
+		profiles = *cfg.Profiles
+	}
+	for t, p := range profiles {
+		if p.FrontDemand <= 0 || p.QueryDemand <= 0 || p.MinQueries < 1 || p.MaxQueries < p.MinQueries {
+			return nil, fmt.Errorf("tpcw: invalid profile for %v: %+v", Transaction(t), p)
+		}
+	}
+	// Pre-build per-type demand distributions.
+	var frontDist, queryDist [NumTransactions]xrand.Hyper2
+	for t, p := range profiles {
+		fd, err := xrand.NewHyper2(p.FrontDemand, p.FrontSCV)
+		if err != nil {
+			return nil, fmt.Errorf("tpcw: front demand for %v: %w", Transaction(t), err)
+		}
+		qd, err := xrand.NewHyper2(p.QueryDemand, p.QuerySCV)
+		if err != nil {
+			return nil, fmt.Errorf("tpcw: query demand for %v: %w", Transaction(t), err)
+		}
+		frontDist[t] = fd
+		queryDist[t] = qd
+	}
+
+	sim := des.NewSim()
+	root := xrand.New(cfg.Seed)
+	thinkSrc := root.Split()
+	navSrc := root.Split()
+	demandSrc := root.Split()
+	contSrc := root.Split()
+	cbmg := NewCBMG(cfg.Mix, cfg.StructureWeight)
+
+	measureStart := cfg.Warmup
+	measureEnd := cfg.Duration - cfg.Cooldown
+	inWindow := func() bool {
+		now := sim.Now()
+		return now >= measureStart && now < measureEnd
+	}
+
+	res := &Result{Config: cfg}
+	var responses []float64
+	var inSystem [NumTransactions]int
+
+	var front, db *des.PSStation
+	var frontEnv, dbEnv *contentionEnv
+	var dbTxnCompletions int64
+
+	// DB query completion: either issue the next query of the
+	// transaction or finish the transaction.
+	onDBComplete := func(j *des.Job) {
+		st := j.Ctx.(*transactionState)
+		st.queriesLeft--
+		if st.queriesLeft > 0 {
+			issueQuery(sim, db, dbEnv, st, &profiles, &queryDist, demandSrc, contSrc)
+			return
+		}
+		dbTxnCompletions++
+		// Transaction complete: record and return the EB to thinking.
+		inSystem[st.txType]--
+		if inWindow() {
+			res.Completed++
+			res.CompletedByType[st.txType]++
+			responses = append(responses, sim.Now()-st.submittedAt)
+		}
+		eb := st.eb
+		sim.Schedule(thinkSrc.Exp(cfg.ThinkTime), func() {
+			submit(sim, eb, cbmg, navSrc, front, frontEnv, &profiles, &frontDist, demandSrc, contSrc, &inSystem)
+		})
+	}
+
+	// Front completion: start the transaction's DB phase.
+	onFrontComplete := func(j *des.Job) {
+		st := j.Ctx.(*transactionState)
+		p := profiles[st.txType]
+		st.queriesLeft = p.MinQueries
+		if p.MaxQueries > p.MinQueries {
+			st.queriesLeft += demandSrc.Intn(p.MaxQueries - p.MinQueries + 1)
+		}
+		issueQuery(sim, db, dbEnv, st, &profiles, &queryDist, demandSrc, contSrc)
+	}
+
+	front = des.NewPSStation(sim, "front", onFrontComplete)
+	db = des.NewPSStation(sim, "db", onDBComplete)
+	frontEnv = newContentionEnv(sim, front, cfg.Mix.FrontContention, contSrc)
+	dbEnv = newContentionEnv(sim, db, cfg.Mix.DBContention, contSrc)
+
+	// Monitoring: the DB view counts transaction-level completions.
+	frontMon := monitor.Watch(sim, front, cfg.MonitorPeriod)
+	dbMon := monitor.Watch(sim, &dbTransactionView{station: db, txnCompletions: &dbTxnCompletions}, cfg.MonitorPeriod)
+
+	var frontU, dbU *monitor.UtilizationRecorder
+	var dbQueueRec *monitor.SeriesRecorder
+	var inSysRecs [NumTransactions]*monitor.SeriesRecorder
+	if cfg.TrackSeries {
+		frontU = monitor.RecordUtilization(sim, front, 1)
+		dbU = monitor.RecordUtilization(sim, db, 1)
+		dbQueueRec = monitor.Record(sim, 1, func() float64 { return float64(db.QueueLen()) })
+		for t := 0; t < NumTransactions; t++ {
+			t := t
+			inSysRecs[t] = monitor.Record(sim, 1, func() float64 { return float64(inSystem[t]) })
+		}
+	}
+
+	// Launch the EBs: stagger initial think times to avoid a thundering
+	// herd at t=0 (sessions are already active when measurement starts).
+	for i := 0; i < cfg.EBs; i++ {
+		eb := &emulatedBrowser{id: i, current: Home}
+		sim.Schedule(thinkSrc.Exp(cfg.ThinkTime), func() {
+			submit(sim, eb, cbmg, navSrc, front, frontEnv, &profiles, &frontDist, demandSrc, contSrc, &inSystem)
+		})
+	}
+	sim.RunUntil(cfg.Duration)
+
+	// Collect results.
+	window := measureEnd - measureStart
+	res.Throughput = float64(res.Completed) / window
+	if len(responses) > 0 {
+		res.MeanResponse = stats.Mean(responses)
+		p95, err := stats.Percentile(responses, 95)
+		if err != nil {
+			return nil, err
+		}
+		res.P95Response = p95
+	}
+	trimHead := int(measureStart / cfg.MonitorPeriod)
+	trimTail := int(cfg.Cooldown / cfg.MonitorPeriod)
+	fs, err := frontMon.Samples(trimHead, trimTail)
+	if err != nil {
+		return nil, fmt.Errorf("tpcw: front monitor: %w", err)
+	}
+	ds, err := dbMon.Samples(trimHead, trimTail)
+	if err != nil {
+		return nil, fmt.Errorf("tpcw: db monitor: %w", err)
+	}
+	res.FrontSamples = fs
+	res.DBSamples = ds
+	res.AvgUtilFront = stats.Mean(fs.Utilization)
+	res.AvgUtilDB = stats.Mean(ds.Utilization)
+	if cfg.TrackSeries {
+		res.FrontUtil1s = frontU.Values()
+		res.DBUtil1s = dbU.Values()
+		res.DBQueueLen1s = dbQueueRec.Values()
+		for t := 0; t < NumTransactions; t++ {
+			res.InSystem1s[t] = inSysRecs[t].Values()
+		}
+	}
+	res.DBContentionFraction = dbEnv.contendedFraction(cfg.Duration)
+	res.FrontContentionFraction = frontEnv.contendedFraction(cfg.Duration)
+	if res.Completed == 0 {
+		return nil, errors.New("tpcw: no transactions completed in measurement window")
+	}
+	return res, nil
+}
+
+// submit starts a new transaction for eb.
+func submit(sim *des.Sim, eb *emulatedBrowser, cbmg *CBMG, navSrc *xrand.Source,
+	front *des.PSStation, frontEnv *contentionEnv,
+	profiles *[NumTransactions]Profile, frontDist *[NumTransactions]xrand.Hyper2,
+	demandSrc, contSrc *xrand.Source, inSystem *[NumTransactions]int) {
+
+	next := cbmg.Next(eb.current, navSrc)
+	eb.current = next
+	st := &transactionState{eb: eb, txType: next, submittedAt: sim.Now()}
+	inSystem[next]++
+	frontEnv.maybeTrigger(1)
+	front.Arrive(&des.Job{
+		Class:  int(next),
+		Demand: frontDist[next].Sample(demandSrc),
+		Ctx:    st,
+	})
+}
+
+// issueQuery sends the next DB query of a transaction.
+func issueQuery(sim *des.Sim, db *des.PSStation, dbEnv *contentionEnv, st *transactionState,
+	profiles *[NumTransactions]Profile, queryDist *[NumTransactions]xrand.Hyper2,
+	demandSrc, contSrc *xrand.Source) {
+	dbEnv.maybeTrigger(profiles[st.txType].ContentionWeight)
+	db.Arrive(&des.Job{
+		Class:  int(st.txType),
+		Demand: queryDist[st.txType].Sample(demandSrc),
+		Ctx:    st,
+	})
+}
+
+// dbTransactionView adapts the DB station for monitoring: utilization
+// comes from the station, completions are transaction-level (one count
+// when the final query of a transaction finishes), so the inferred mean
+// DB service time is per transaction — the quantity the queueing model
+// uses.
+type dbTransactionView struct {
+	station        *des.PSStation
+	txnCompletions *int64
+}
+
+func (v *dbTransactionView) Arrive(*des.Job)    { panic("tpcw: monitoring view is read-only") }
+func (v *dbTransactionView) QueueLen() int      { return v.station.QueueLen() }
+func (v *dbTransactionView) BusyTime() float64  { return v.station.BusyTime() }
+func (v *dbTransactionView) Completions() int64 { return *v.txnCompletions }

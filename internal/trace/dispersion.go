@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// UtilizationSamples is the coarse monitoring input of the paper's
+// Figure 2 algorithm: K sampling periods of resolution T seconds, each
+// with a measured CPU utilization and a count of completed requests.
+// This is exactly what `sar` plus a transaction monitor such as
+// HP (Mercury) Diagnostics provide on a production system.
+type UtilizationSamples struct {
+	// PeriodSeconds is the sampling resolution T (e.g., 60 s, or 5 s for
+	// the Diagnostics tool used in the paper's testbed).
+	PeriodSeconds float64
+	// Utilization[k] is the average utilization in period k, in [0,1].
+	Utilization []float64
+	// Completions[k] is the number of requests completed in period k.
+	Completions []float64
+}
+
+// Validate checks structural consistency of the samples.
+func (u UtilizationSamples) Validate() error {
+	if u.PeriodSeconds <= 0 {
+		return fmt.Errorf("trace: sampling period %v must be > 0", u.PeriodSeconds)
+	}
+	if len(u.Utilization) != len(u.Completions) {
+		return fmt.Errorf("trace: %d utilization samples vs %d completion samples",
+			len(u.Utilization), len(u.Completions))
+	}
+	if len(u.Utilization) == 0 {
+		return errors.New("trace: no samples")
+	}
+	for k, v := range u.Utilization {
+		if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+			return fmt.Errorf("trace: utilization[%d] = %v out of [0,1]", k, v)
+		}
+	}
+	for k, c := range u.Completions {
+		if c < 0 || math.IsNaN(c) {
+			return fmt.Errorf("trace: completions[%d] = %v negative", k, c)
+		}
+	}
+	return nil
+}
+
+// BusyTimes returns B_k = U_k * T, the busy time accumulated in each
+// sampling period (step 1 of the Figure 2 algorithm).
+func (u UtilizationSamples) BusyTimes() []float64 {
+	out := make([]float64, len(u.Utilization))
+	for k, v := range u.Utilization {
+		out[k] = v * u.PeriodSeconds
+	}
+	return out
+}
+
+// MeanServiceTime estimates the mean service time as total busy time over
+// total completions (the utilization law: U*T = S*C). Periods with zero
+// completions contribute their busy time but no completions, which is the
+// correct accounting for work measured across window boundaries.
+func (u UtilizationSamples) MeanServiceTime() (float64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	busy := stats.Sum(u.BusyTimes())
+	count := stats.Sum(u.Completions)
+	if count <= 0 {
+		return 0, errors.New("trace: no completions observed")
+	}
+	return busy / count, nil
+}
+
+// EstimateResult carries the output of the Figure 2 algorithm plus the
+// convergence diagnostics an operator would want to log.
+type EstimateResult struct {
+	// I is the estimated index of dispersion.
+	I float64
+	// Converged records whether the |1 - Y(t)/Y(t-T)| <= tol test passed
+	// (false means the window outgrew the trace and the last stable value
+	// was returned).
+	Converged bool
+	// WindowSeconds is the busy-time window length at which the estimate
+	// was taken.
+	WindowSeconds float64
+	// Evaluations lists the successive Y(t) values, for diagnostics.
+	Evaluations []float64
+}
+
+// EstimateIndexOfDispersion implements the pseudo-code of Figure 2: it
+// estimates the index of dispersion of the *service process* of a server
+// from coarse utilization and completion measurements, by counting
+// completions within concatenated busy-period windows of growing length.
+// Queueing delay is masked out by the busy-time concatenation, so the
+// result characterizes service burstiness rather than arrival burstiness.
+func (u UtilizationSamples) EstimateIndexOfDispersion(opts DispersionOptions) (EstimateResult, error) {
+	if err := u.Validate(); err != nil {
+		return EstimateResult{}, err
+	}
+	opts = opts.withDefaults()
+	busy := u.BusyTimes()
+	// Drop fully idle periods: they carry no service-process information
+	// and the concatenation of busy periods skips them by construction.
+	bs := make([]float64, 0, len(busy))
+	cs := make([]float64, 0, len(busy))
+	for k := range busy {
+		if busy[k] > 0 {
+			bs = append(bs, busy[k])
+			cs = append(cs, u.Completions[k])
+		}
+	}
+	if len(bs) == 0 {
+		return EstimateResult{}, errors.New("trace: server never busy")
+	}
+	// Prefix sums over the concatenated busy time and completions.
+	cumB := make([]float64, len(bs)+1)
+	cumC := make([]float64, len(cs)+1)
+	for k := range bs {
+		cumB[k+1] = cumB[k] + bs[k]
+		cumC[k+1] = cumC[k] + cs[k]
+	}
+	totalBusy := cumB[len(bs)]
+
+	res := EstimateResult{}
+	tStep := u.PeriodSeconds
+	prevY := math.NaN()
+	lastY := math.NaN()
+	lastWindow := 0.0
+	for t := tStep; ; t += tStep {
+		y, nWindows := busyWindowDispersion(cumB, cumC, t)
+		if nWindows < opts.MinWindows {
+			if math.IsNaN(lastY) {
+				return EstimateResult{}, ErrTraceTooShort
+			}
+			res.I = lastY
+			res.WindowSeconds = lastWindow
+			return res, nil
+		}
+		res.Evaluations = append(res.Evaluations, y)
+		lastY, lastWindow = y, t
+		if !math.IsNaN(prevY) && math.Abs(1-y/prevY) <= opts.Tol {
+			res.I = y
+			res.Converged = true
+			res.WindowSeconds = t
+			return res, nil
+		}
+		prevY = y
+		if t > totalBusy || len(res.Evaluations) > opts.MaxGrowth {
+			res.I = lastY
+			res.WindowSeconds = lastWindow
+			return res, nil
+		}
+	}
+}
+
+// busyWindowDispersion evaluates Y(t) = Var(N_t)/E[N_t] where N_t is the
+// number of completions inside a window of busy time t. Windows start at
+// each sampling period boundary (step 3a of Figure 2: A_k = (B_k, ...,
+// B_{k+j}) with sum ~ t); completions are apportioned by linear
+// interpolation within the fractional last period so that short windows
+// are not quantized to whole periods.
+func busyWindowDispersion(cumB, cumC []float64, t float64) (y float64, nWindows int) {
+	n := len(cumB) - 1
+	var acc stats.Accumulator
+	for k := 0; k < n; k++ {
+		start := cumB[k]
+		end := start + t
+		if end > cumB[n]+1e-12 {
+			break
+		}
+		acc.Add(interpCount(cumB, cumC, end) - cumC[k])
+	}
+	if acc.N() == 0 || acc.Mean() == 0 {
+		return math.NaN(), acc.N()
+	}
+	return acc.Variance() / acc.Mean(), acc.N()
+}
+
+// interpCount returns the (interpolated) cumulative completion count at
+// absolute concatenated-busy-time point x.
+func interpCount(cumB, cumC []float64, x float64) float64 {
+	n := len(cumB) - 1
+	// Binary search for the period containing x.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cumB[mid+1] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k := lo
+	if k >= n {
+		return cumC[n]
+	}
+	span := cumB[k+1] - cumB[k]
+	if span <= 0 {
+		return cumC[k+1]
+	}
+	frac := (x - cumB[k]) / span
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return cumC[k] + frac*(cumC[k+1]-cumC[k])
+}
+
+// Percentile95ServiceTime implements the paper's Section 4.1 estimator of
+// the 95th percentile of service times: the 95th percentile of per-period
+// busy times B_k scaled by the median number of completions per busy
+// period. The approximation B_k ~ n_k * S_k is accurate for highly bursty
+// traces (I >> 100) and intentionally biased-but-harmless otherwise.
+func (u UtilizationSamples) Percentile95ServiceTime() (float64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	busy := u.BusyTimes()
+	bs := make([]float64, 0, len(busy))
+	cs := make([]float64, 0, len(busy))
+	for k := range busy {
+		if busy[k] > 0 && u.Completions[k] > 0 {
+			bs = append(bs, busy[k])
+			cs = append(cs, u.Completions[k])
+		}
+	}
+	if len(bs) == 0 {
+		return 0, errors.New("trace: no busy periods with completions")
+	}
+	p95B, err := stats.Percentile(bs, 95)
+	if err != nil {
+		return 0, err
+	}
+	medN, err := stats.Median(cs)
+	if err != nil {
+		return 0, err
+	}
+	if medN <= 0 {
+		return 0, errors.New("trace: median completions per period is zero")
+	}
+	return p95B / medN, nil
+}

@@ -1,0 +1,423 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (T{}).Validate(); err == nil {
+		t.Error("empty trace should fail validation")
+	}
+	if err := (T{1, -1}).Validate(); err == nil {
+		t.Error("negative service time should fail validation")
+	}
+	if err := (T{1, 0}).Validate(); err == nil {
+		t.Error("zero service time should fail validation")
+	}
+	if err := (T{1, math.Inf(1)}).Validate(); err == nil {
+		t.Error("infinite service time should fail validation")
+	}
+	if err := (T{1, 2, 3}).Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := T{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone must not share backing array")
+	}
+}
+
+func TestGenerateH2TraceMarginal(t *testing.T) {
+	src := xrand.New(42)
+	for _, profile := range []Profile{ProfileRandom, ProfileMildBursts, ProfileStrongBursts, ProfileSingleBurst} {
+		tr, err := GenerateH2Trace(20000, 1.0, 3.0, profile, src.Split())
+		if err != nil {
+			t.Fatalf("%v: %v", profile, err)
+		}
+		if len(tr) != 20000 {
+			t.Fatalf("%v: len = %d", profile, len(tr))
+		}
+		if math.Abs(tr.Mean()-1.0) > 0.05 {
+			t.Errorf("%v: mean = %v, want ~1", profile, tr.Mean())
+		}
+		if math.Abs(tr.SCV()-3.0) > 0.4 {
+			t.Errorf("%v: SCV = %v, want ~3", profile, tr.SCV())
+		}
+	}
+}
+
+func TestGenerateH2TraceProfilesShareMarginal(t *testing.T) {
+	// Same seed => same multiset of values, different order (for bursty
+	// profiles the samples are drawn identically because the phase draw
+	// sequence is identical).
+	trA, err := GenerateH2Trace(5000, 1.0, 3.0, ProfileRandom, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trD, err := GenerateH2Trace(5000, 1.0, 3.0, ProfileSingleBurst, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := append([]float64(nil), trA...)
+	d := append([]float64(nil), trD...)
+	sort.Float64s(a)
+	sort.Float64s(d)
+	for i := range a {
+		if a[i] != d[i] {
+			t.Fatal("profiles with identical seeds should have identical marginals")
+		}
+	}
+}
+
+func TestGenerateH2TraceErrors(t *testing.T) {
+	src := xrand.New(1)
+	if _, err := GenerateH2Trace(1, 1, 3, ProfileRandom, src); err == nil {
+		t.Error("expected error for n < 2")
+	}
+	if _, err := GenerateH2Trace(100, 1, 0.5, ProfileRandom, src); err == nil {
+		t.Error("expected error for SCV < 1")
+	}
+}
+
+func TestIndexOfDispersionExponentialIsOne(t *testing.T) {
+	// I = 1 for an exponential i.i.d. service process (paper Section 2.1).
+	src := xrand.New(3)
+	tr := make(T, 50000)
+	for i := range tr {
+		tr[i] = src.Exp(1)
+	}
+	i, err := tr.IndexOfDispersion(DispersionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i < 0.7 || i > 1.4 {
+		t.Errorf("I(exponential iid) = %v, want ~1", i)
+	}
+}
+
+func TestIndexOfDispersionIncreasesWithBurstiness(t *testing.T) {
+	// The core claim of Fig. 1: same marginal, increasing I across profiles.
+	values := map[Profile]float64{}
+	for _, profile := range []Profile{ProfileRandom, ProfileMildBursts, ProfileStrongBursts, ProfileSingleBurst} {
+		tr, err := GenerateH2Trace(20000, 1.0, 3.0, profile, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, err := tr.IndexOfDispersion(DispersionOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", profile, err)
+		}
+		values[profile] = i
+		t.Logf("%v: I = %.1f (SCV = %.2f)", profile, i, tr.SCV())
+	}
+	if !(values[ProfileRandom] < values[ProfileMildBursts] &&
+		values[ProfileMildBursts] < values[ProfileStrongBursts] &&
+		values[ProfileStrongBursts] < values[ProfileSingleBurst]) {
+		t.Errorf("I not increasing across profiles: %v", values)
+	}
+	// Magnitudes in the paper's ballpark: (a) ~ 3, (d) in the hundreds.
+	if values[ProfileRandom] < 1.5 || values[ProfileRandom] > 8 {
+		t.Errorf("I(random) = %v, want near SCV=3", values[ProfileRandom])
+	}
+	if values[ProfileSingleBurst] < 100 {
+		t.Errorf("I(single burst) = %v, want in the hundreds", values[ProfileSingleBurst])
+	}
+}
+
+func TestIndexOfDispersionACFAgreesOnIID(t *testing.T) {
+	src := xrand.New(5)
+	tr := make(T, 30000)
+	for i := range tr {
+		tr[i] = src.Exp(2)
+	}
+	i1, err := tr.IndexOfDispersionACF(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 < 0.6 || i1 > 1.5 {
+		t.Errorf("ACF-form I on iid exponential = %v, want ~1", i1)
+	}
+}
+
+func TestIndexOfDispersionACFErrors(t *testing.T) {
+	tr := T{1, 2, 3}
+	if _, err := tr.IndexOfDispersionACF(0); err == nil {
+		t.Error("expected error for maxLag 0")
+	}
+	if _, err := tr.IndexOfDispersionACF(5); err == nil {
+		t.Error("expected error for maxLag >= n")
+	}
+	if _, err := (T{}).IndexOfDispersionACF(1); err == nil {
+		t.Error("expected error for empty trace")
+	}
+}
+
+func TestIndexOfDispersionTooShort(t *testing.T) {
+	tr := T{1, 2, 3}
+	if _, err := tr.IndexOfDispersion(DispersionOptions{}); err == nil {
+		t.Error("expected ErrTraceTooShort for 3 samples")
+	}
+}
+
+// Property: shuffling destroys burstiness — I of a shuffled bursty trace
+// collapses toward the iid level.
+func TestPropShuffleCollapsesDispersion(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		tr, err := GenerateH2Trace(10000, 1.0, 3.0, ProfileSingleBurst, src)
+		if err != nil {
+			return false
+		}
+		iBursty, err := tr.IndexOfDispersion(DispersionOptions{})
+		if err != nil {
+			return false
+		}
+		shuffled := tr.Clone()
+		src.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		iShuffled, err := shuffled.IndexOfDispersion(DispersionOptions{})
+		if err != nil {
+			return false
+		}
+		return iShuffled < iBursty/4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationSamplesValidate(t *testing.T) {
+	good := UtilizationSamples{
+		PeriodSeconds: 5,
+		Utilization:   []float64{0.5, 0.8},
+		Completions:   []float64{10, 20},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid samples rejected: %v", err)
+	}
+	bad := []UtilizationSamples{
+		{PeriodSeconds: 0, Utilization: []float64{0.5}, Completions: []float64{1}},
+		{PeriodSeconds: 5, Utilization: []float64{0.5}, Completions: []float64{1, 2}},
+		{PeriodSeconds: 5},
+		{PeriodSeconds: 5, Utilization: []float64{1.5}, Completions: []float64{1}},
+		{PeriodSeconds: 5, Utilization: []float64{0.5}, Completions: []float64{-1}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMeanServiceTimeUtilizationLaw(t *testing.T) {
+	// 10 periods of 5 s at 80% utilization with 40 completions each:
+	// S = (0.8*5)/40 = 0.1 s.
+	u := UtilizationSamples{PeriodSeconds: 5}
+	for k := 0; k < 10; k++ {
+		u.Utilization = append(u.Utilization, 0.8)
+		u.Completions = append(u.Completions, 40)
+	}
+	s, err := u.MeanServiceTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.1) > 1e-12 {
+		t.Errorf("S = %v, want 0.1", s)
+	}
+}
+
+func TestMeanServiceTimeNoCompletions(t *testing.T) {
+	u := UtilizationSamples{PeriodSeconds: 5, Utilization: []float64{0.5}, Completions: []float64{0}}
+	if _, err := u.MeanServiceTime(); err == nil {
+		t.Error("expected error with zero completions")
+	}
+}
+
+// syntheticMonitoring builds monitoring samples from a known service
+// trace replayed back-to-back (server always busy), splitting it into
+// periods of the given length.
+func syntheticMonitoring(tr T, period float64) UtilizationSamples {
+	u := UtilizationSamples{PeriodSeconds: period}
+	cum := 0.0
+	periodEnd := period
+	count := 0.0
+	for _, s := range tr {
+		cum += s
+		count++
+		for cum >= periodEnd {
+			u.Utilization = append(u.Utilization, 1.0)
+			u.Completions = append(u.Completions, count)
+			count = 0
+			periodEnd += period
+		}
+	}
+	return u
+}
+
+func TestEstimateIndexOfDispersionFromMonitoring(t *testing.T) {
+	// The Figure 2 estimator must separate bursty from non-bursty service:
+	// on a strongly bursty trace it reports an I far above 1, and it ranks
+	// traces the same way the raw-trace estimator does.
+	bursty, err := GenerateH2Trace(40000, 1.0, 3.0, ProfileStrongBursts, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(22)
+	smooth := make(T, 40000)
+	for i := range smooth {
+		smooth[i] = src.Exp(1)
+	}
+	uBursty := syntheticMonitoring(bursty, 25)
+	uSmooth := syntheticMonitoring(smooth, 25)
+	resBursty, err := uBursty.EstimateIndexOfDispersion(DispersionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSmooth, err := uSmooth.EstimateIndexOfDispersion(DispersionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("monitoring I: bursty = %.1f, smooth = %.1f", resBursty.I, resSmooth.I)
+	if resBursty.I < 10*resSmooth.I {
+		t.Errorf("monitoring I should separate bursty (%v) from smooth (%v)", resBursty.I, resSmooth.I)
+	}
+	if resBursty.I < 20 {
+		t.Errorf("monitoring I for strongly bursty trace = %v, want >> 1", resBursty.I)
+	}
+	if len(resBursty.Evaluations) == 0 {
+		t.Error("expected evaluation diagnostics")
+	}
+}
+
+func TestEstimateIndexOfDispersionExponential(t *testing.T) {
+	src := xrand.New(9)
+	tr := make(T, 60000)
+	for i := range tr {
+		tr[i] = src.Exp(0.1)
+	}
+	u := syntheticMonitoring(tr, 5)
+	res, err := u.EstimateIndexOfDispersion(DispersionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I < 0.5 || res.I > 2 {
+		t.Errorf("monitoring I for exponential = %v, want ~1", res.I)
+	}
+}
+
+func TestEstimateIndexOfDispersionTooShort(t *testing.T) {
+	u := UtilizationSamples{
+		PeriodSeconds: 5,
+		Utilization:   []float64{0.5, 0.6},
+		Completions:   []float64{10, 12},
+	}
+	if _, err := u.EstimateIndexOfDispersion(DispersionOptions{}); err == nil {
+		t.Error("expected error for 2 samples")
+	}
+}
+
+func TestPercentile95ServiceTime(t *testing.T) {
+	// Constant service time s: every period has B_k = n_k*s exactly, so
+	// the estimator returns p95(B)/med(n) ~ s * (p95(n)/med(n)).
+	s := 0.05
+	u := UtilizationSamples{PeriodSeconds: 5}
+	for k := 0; k < 200; k++ {
+		n := 40.0
+		u.Utilization = append(u.Utilization, n*s/5)
+		u.Completions = append(u.Completions, n)
+	}
+	p95, err := u.Percentile95ServiceTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p95-s) > 1e-9 {
+		t.Errorf("p95 = %v, want %v", p95, s)
+	}
+}
+
+func TestPercentile95NoBusyPeriods(t *testing.T) {
+	u := UtilizationSamples{PeriodSeconds: 5, Utilization: []float64{0}, Completions: []float64{0}}
+	if _, err := u.Percentile95ServiceTime(); err == nil {
+		t.Error("expected error for idle trace")
+	}
+}
+
+func TestBusyTimes(t *testing.T) {
+	u := UtilizationSamples{PeriodSeconds: 10, Utilization: []float64{0.5, 1.0}, Completions: []float64{1, 2}}
+	b := u.BusyTimes()
+	if b[0] != 5 || b[1] != 10 {
+		t.Errorf("BusyTimes = %v, want [5 10]", b)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	for _, p := range []Profile{ProfileRandom, ProfileMildBursts, ProfileStrongBursts, ProfileSingleBurst, Profile(99)} {
+		if p.String() == "" {
+			t.Errorf("Profile(%d).String() empty", int(p))
+		}
+	}
+}
+
+func TestHurstIIDNearHalf(t *testing.T) {
+	// An i.i.d. series has no long-range dependence: H ~ 0.5.
+	src := xrand.New(51)
+	tr := make(T, 30000)
+	for i := range tr {
+		tr[i] = src.Exp(1)
+	}
+	est, err := tr.HurstAggregatedVariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.H < 0.35 || est.H > 0.65 {
+		t.Errorf("iid Hurst = %v, want ~0.5", est.H)
+	}
+	if est.Levels < 3 {
+		t.Errorf("levels = %d, want several", est.Levels)
+	}
+}
+
+func TestHurstBurstyAboveHalf(t *testing.T) {
+	// Bursty aggregation of large samples induces long-range dependence.
+	tr, err := GenerateH2Trace(30000, 1, 3, ProfileStrongBursts, xrand.New(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := tr.HurstAggregatedVariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid := make(T, 30000)
+	src := xrand.New(54)
+	for i := range iid {
+		iid[i] = src.Exp(1)
+	}
+	estIID, err := iid.HurstAggregatedVariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Hurst: bursty %.3f vs iid %.3f", est.H, estIID.H)
+	if est.H <= estIID.H {
+		t.Errorf("bursty Hurst %v should exceed iid %v", est.H, estIID.H)
+	}
+	if est.H < 0.7 {
+		t.Errorf("bursty Hurst = %v, want clearly above 0.5", est.H)
+	}
+}
+
+func TestHurstErrors(t *testing.T) {
+	if _, err := (T{1, 2, 3}).HurstAggregatedVariance(); err == nil {
+		t.Error("expected error for short trace")
+	}
+	if _, err := (T{}).HurstAggregatedVariance(); err == nil {
+		t.Error("expected error for empty trace")
+	}
+}

@@ -1,0 +1,200 @@
+// Package xrand provides seeded random-variate generation for the
+// simulators and workload generators. All generators are deterministic
+// given their seed so every experiment in the repository is reproducible.
+//
+// Only math/rand from the standard library is used underneath; this
+// package adds the distributions the paper needs (exponential,
+// two-phase hyperexponential, Erlang, bounded Pareto) plus independent
+// substreams so concurrent model components do not perturb each other's
+// sequences.
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Source is a seeded stream of random variates. It is not safe for
+// concurrent use; derive one Source per simulation component with Split.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new, statistically independent Source from s.
+// The derived stream is a function of the parent's state, so a parent
+// seeded identically always yields the same family of children.
+func (s *Source) Split() *Source {
+	return New(s.rng.Int63())
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Exp returns an exponential variate with the given mean (not rate).
+// It panics if mean <= 0; generator parameters are programmer input.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("xrand: exponential mean %v must be > 0", mean))
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// ExpRate returns an exponential variate with the given rate.
+func (s *Source) ExpRate(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("xrand: exponential rate %v must be > 0", rate))
+	}
+	return s.rng.ExpFloat64() / rate
+}
+
+// Erlang returns an Erlang-k variate with the given overall mean
+// (the sum of k exponential stages each with mean mean/k).
+// Erlang variates model low-variability service (SCV = 1/k < 1).
+func (s *Source) Erlang(k int, mean float64) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("xrand: Erlang stages %d must be >= 1", k))
+	}
+	stage := mean / float64(k)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += s.Exp(stage)
+	}
+	return sum
+}
+
+// Hyper2 describes a balanced two-phase hyperexponential distribution:
+// with probability P the variate is Exp(Mean1), otherwise Exp(Mean2).
+// Hyperexponentials model high-variability service (SCV > 1) and are the
+// marginal distribution the paper uses for the Fig. 1 traces.
+type Hyper2 struct {
+	P     float64 // probability of phase 1
+	Mean1 float64 // mean of phase 1
+	Mean2 float64 // mean of phase 2
+}
+
+// NewHyper2 builds a two-phase hyperexponential with the requested mean
+// and squared coefficient of variation using balanced means
+// (p/mu1 = (1-p)/mu2), the standard moment-matching construction.
+// scv must be >= 1.
+func NewHyper2(mean, scv float64) (Hyper2, error) {
+	if mean <= 0 {
+		return Hyper2{}, fmt.Errorf("xrand: H2 mean %v must be > 0", mean)
+	}
+	if scv < 1 {
+		return Hyper2{}, fmt.Errorf("xrand: H2 SCV %v must be >= 1", scv)
+	}
+	if scv == 1 {
+		// Degenerate: exponential.
+		return Hyper2{P: 1, Mean1: mean, Mean2: mean}, nil
+	}
+	// Balanced-means H2: p = (1 + sqrt((scv-1)/(scv+1)))/2,
+	// mean1 = mean/(2p), mean2 = mean/(2(1-p)).
+	p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+	return Hyper2{
+		P:     p,
+		Mean1: mean / (2 * p),
+		Mean2: mean / (2 * (1 - p)),
+	}, nil
+}
+
+// Mean returns the distribution mean p*Mean1 + (1-p)*Mean2.
+func (h Hyper2) Mean() float64 {
+	return h.P*h.Mean1 + (1-h.P)*h.Mean2
+}
+
+// SCV returns the squared coefficient of variation of the distribution.
+func (h Hyper2) SCV() float64 {
+	m1 := h.Mean()
+	m2 := 2 * (h.P*h.Mean1*h.Mean1 + (1-h.P)*h.Mean2*h.Mean2)
+	return m2/(m1*m1) - 1
+}
+
+// Sample draws one variate from h using source s.
+func (h Hyper2) Sample(s *Source) float64 {
+	if s.Float64() < h.P {
+		return s.Exp(h.Mean1)
+	}
+	return s.Exp(h.Mean2)
+}
+
+// IsSlowPhase reports whether value x is more likely to have been produced
+// by the slower (larger-mean) phase of h. Used by the burstiness-profile
+// construction to identify "large" samples.
+func (h Hyper2) IsSlowPhase(x float64) bool {
+	slow, fast := h.Mean1, h.Mean2
+	if h.Mean2 > h.Mean1 {
+		slow, fast = h.Mean2, h.Mean1
+	}
+	// Likelihood ratio threshold: the crossing point of the two weighted
+	// exponential densities.
+	pSlow := 1 - h.P
+	if h.Mean1 > h.Mean2 {
+		pSlow = h.P
+	}
+	if slow == fast {
+		return false
+	}
+	// Solve pSlow/slow*exp(-x/slow) = (1-pSlow)/fast*exp(-x/fast).
+	num := math.Log((1 - pSlow) / fast * slow / pSlow)
+	den := 1/fast - 1/slow
+	threshold := num / den
+	return x > threshold
+}
+
+// BoundedPareto returns a bounded-Pareto variate with shape alpha on
+// [lo, hi] via inverse-transform sampling. Useful as a heavy-tailed
+// alternative to H2 in sensitivity experiments.
+func (s *Source) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("xrand: invalid bounded Pareto (alpha=%v, lo=%v, hi=%v)", alpha, lo, hi))
+	}
+	u := s.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Choice returns an index in [0,len(weights)) drawn with probability
+// proportional to weights[i]. It panics on empty or non-positive-sum
+// weights; workload mixes are programmer input.
+func (s *Source) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("xrand: negative weight %v", w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: weights sum to zero")
+	}
+	u := s.Float64() * total
+	cum := 0.0
+	for i, w := range weights {
+		cum += w
+		if u < cum {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,231 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestSplitIndependentButReproducible(t *testing.T) {
+	a1 := New(42)
+	c1 := a1.Split()
+	a2 := New(42)
+	c2 := a2.Split()
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("children of identically-seeded parents must agree")
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(1)
+	var acc stats.Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(s.Exp(2.5))
+	}
+	if math.Abs(acc.Mean()-2.5) > 0.03 {
+		t.Errorf("Exp mean = %v, want ~2.5", acc.Mean())
+	}
+	if math.Abs(acc.SCV()-1) > 0.03 {
+		t.Errorf("Exp SCV = %v, want ~1", acc.SCV())
+	}
+}
+
+func TestExpRate(t *testing.T) {
+	s := New(2)
+	var acc stats.Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(s.ExpRate(4))
+	}
+	if math.Abs(acc.Mean()-0.25) > 0.01 {
+		t.Errorf("ExpRate(4) mean = %v, want ~0.25", acc.Mean())
+	}
+}
+
+func TestExpPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) should panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestErlangMoments(t *testing.T) {
+	s := New(3)
+	var acc stats.Accumulator
+	k, mean := 4, 2.0
+	for i := 0; i < 100000; i++ {
+		acc.Add(s.Erlang(k, mean))
+	}
+	if math.Abs(acc.Mean()-mean) > 0.02 {
+		t.Errorf("Erlang mean = %v, want ~%v", acc.Mean(), mean)
+	}
+	if math.Abs(acc.SCV()-1.0/float64(k)) > 0.02 {
+		t.Errorf("Erlang SCV = %v, want ~%v", acc.SCV(), 1.0/float64(k))
+	}
+}
+
+func TestNewHyper2MatchesTargets(t *testing.T) {
+	for _, scv := range []float64{1, 2, 3, 5, 10, 50} {
+		h, err := NewHyper2(1.0, scv)
+		if err != nil {
+			t.Fatalf("SCV %v: %v", scv, err)
+		}
+		if math.Abs(h.Mean()-1.0) > 1e-9 {
+			t.Errorf("SCV %v: analytic mean = %v, want 1", scv, h.Mean())
+		}
+		if math.Abs(h.SCV()-scv) > 1e-9 {
+			t.Errorf("SCV %v: analytic SCV = %v", scv, h.SCV())
+		}
+	}
+}
+
+func TestNewHyper2Errors(t *testing.T) {
+	if _, err := NewHyper2(0, 3); err == nil {
+		t.Error("expected error for zero mean")
+	}
+	if _, err := NewHyper2(1, 0.5); err == nil {
+		t.Error("expected error for SCV < 1")
+	}
+}
+
+func TestHyper2SampleMoments(t *testing.T) {
+	h, err := NewHyper2(1.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(4)
+	var acc stats.Accumulator
+	for i := 0; i < 400000; i++ {
+		acc.Add(h.Sample(s))
+	}
+	if math.Abs(acc.Mean()-1.0) > 0.02 {
+		t.Errorf("H2 sample mean = %v, want ~1", acc.Mean())
+	}
+	if math.Abs(acc.SCV()-3.0) > 0.1 {
+		t.Errorf("H2 sample SCV = %v, want ~3", acc.SCV())
+	}
+}
+
+func TestIsSlowPhaseSeparates(t *testing.T) {
+	h, err := NewHyper2(1.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Very large values must classify as slow-phase, tiny ones as fast.
+	big := math.Max(h.Mean1, h.Mean2) * 10
+	small := math.Min(h.Mean1, h.Mean2) * 0.01
+	if !h.IsSlowPhase(big) {
+		t.Errorf("value %v should classify as slow phase", big)
+	}
+	if h.IsSlowPhase(small) {
+		t.Errorf("value %v should classify as fast phase", small)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		x := s.BoundedPareto(1.5, 1, 100)
+		if x < 1 || x > 100 {
+			t.Fatalf("bounded Pareto out of range: %v", x)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(6)
+	var acc stats.Accumulator
+	for i := 0; i < 100000; i++ {
+		x := s.Uniform(2, 4)
+		if x < 2 || x >= 4 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+		acc.Add(x)
+	}
+	if math.Abs(acc.Mean()-3) > 0.01 {
+		t.Errorf("Uniform mean = %v, want ~3", acc.Mean())
+	}
+}
+
+func TestChoiceFrequencies(t *testing.T) {
+	s := New(7)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[s.Choice(weights)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / float64(n)
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Choice freq[%d] = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	s := New(8)
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) should panic", weights)
+				}
+			}()
+			s.Choice(weights)
+		}()
+	}
+}
+
+// Property: Erlang(1, m) has the same distributional role as Exp(m) —
+// check the first two sample moments agree across seeds.
+func TestPropErlang1IsExponential(t *testing.T) {
+	f := func(seed int64) bool {
+		s1, s2 := New(seed), New(seed)
+		// Same underlying stream: Erlang(1) consumes exactly one Exp draw.
+		for i := 0; i < 100; i++ {
+			if s1.Erlang(1, 2) != s2.Exp(2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Perm returns a valid permutation.
+func TestPropPermValid(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		n := 1 + int(uint64(seed)%97)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
