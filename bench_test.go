@@ -19,6 +19,59 @@ import (
 	"repro/internal/experiments"
 )
 
+// BenchmarkSolveThreeTier tracks the cost of the exact N-tier CTMC
+// solution as the chain deepens: the same bursty workload solved as a
+// two-station (front+DB) and a three-station (front+app+DB) network at
+// identical population. The reported "states" metric exposes the
+// state-space growth with K that motivates the product-form bounds.
+func BenchmarkSolveThreeTier(b *testing.B) {
+	front, err := FitMAP2(0.004, 40, 0.02, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := FitMAP2(0.006, 120, 0.04, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := FitMAP2(0.003, 25, 0.01, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ebs = 30
+	cases := []struct {
+		name     string
+		stations []Station
+	}{
+		{"K=2", []Station{
+			{Name: "front", MAP: front.MAP},
+			{Name: "db", MAP: db.MAP},
+		}},
+		{"K=3", []Station{
+			{Name: "front", MAP: front.MAP},
+			{Name: "app", MAP: app.MAP},
+			{Name: "db", MAP: db.MAP},
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var met MAPNetworkMetricsN
+			for i := 0; i < b.N; i++ {
+				m, err := SolveMAPNetworkN(MAPNetworkModelN{
+					Stations:  c.stations,
+					ThinkTime: 0.5,
+					Customers: ebs,
+				}, SolverOptions{Tol: 1e-8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met = m
+			}
+			b.ReportMetric(float64(met.States), "states")
+			b.ReportMetric(met.Throughput, "X")
+		})
+	}
+}
+
 // benchScale is the measurement scale used by the benchmark harness:
 // long enough for stable estimates, short enough that the full suite
 // completes in minutes.

@@ -14,20 +14,35 @@
 //     Fig. 2), and the 95th percentile of service times per tier;
 //   - fit: build a two-phase Markovian Arrival Process per tier matching
 //     (mean, I, p95) exactly on mean and I, selecting on p95;
-//   - model: solve the closed MAP queueing network {front, DB, think
-//     time, N clients} exactly via its CTMC, alongside the classical MVA
+//   - model: solve the closed MAP queueing network {tiers, think time,
+//     N clients} exactly via its CTMC, alongside the classical MVA
 //     baseline;
 //   - validate: a full TPC-W testbed simulator with the burstiness
 //     mechanisms the paper identifies (per-type demands, multi-query
 //     transactions, Best-Seller-triggered database contention) acts as
 //     the measured system.
 //
-// Quick start:
+// The modeling stack is N-tier: a closed tandem chain of K MAP-service
+// stations (front, app tiers, database, ...) plus the think-time delay
+// station, solved exactly over the CTMC on states
+// (n_1..n_K, phase_1..phase_K). The paper's two-tier front+DB model is
+// the K=2 special case and keeps its original API (NewPlan,
+// MAPNetworkModel, SolveMVA) as thin wrappers over the N-tier core
+// (NewPlanN, MAPNetworkModelN, SolveMAPNetworkN, SolveMVAN).
+//
+// Two-tier quick start:
 //
 //	plan, err := burst.NewPlan(frontSamples, dbSamples, 0.5, burst.PlannerOptions{})
 //	preds, err := plan.Predict([]int{25, 50, 100, 150})
 //
-// See the examples/ directory for complete programs.
+// N-tier quick start (front + app + DB):
+//
+//	plan, err := burst.NewPlanN([]burst.UtilizationSamples{front, app, db}, 0.5, burst.PlannerOptions{})
+//	preds, err := plan.Predict([]int{25, 50, 100, 150})
+//	// preds[i].MAP.Utils, .QueueLens, .QueueDists hold one entry per tier.
+//
+// See the examples/ directory for complete programs (examples/threetier
+// for the N-tier path).
 package burst
 
 import (
@@ -69,19 +84,34 @@ type (
 	// (mean, I, p95).
 	Characterization = inference.Characterization
 
-	// Plan is a parameterized capacity-planning model.
+	// Plan is a parameterized two-tier capacity-planning model.
 	Plan = core.Plan
+	// PlanN is the N-tier capacity-planning model (one Tier per layer).
+	PlanN = core.PlanN
+	// Tier is one characterized-and-fitted tier of a PlanN.
+	Tier = core.Tier
 	// PlannerOptions tunes plan construction.
 	PlannerOptions = core.PlannerOptions
 	// Prediction holds MAP-model and MVA metrics at one population.
 	Prediction = core.Prediction
+	// PredictionN holds per-station MAP-model and MVA metrics at one
+	// population of an N-tier plan.
+	PredictionN = core.PredictionN
 	// Accuracy compares predictions against measurements.
 	Accuracy = core.Accuracy
 
-	// MAPNetworkModel is the closed MAP queueing network of the paper.
+	// MAPNetworkModel is the two-station MAP queueing network of the paper.
 	MAPNetworkModel = mapqn.Model
 	// MAPNetworkMetrics is its exact solution.
 	MAPNetworkMetrics = mapqn.Metrics
+	// Station is one queueing station of an N-tier MAP network.
+	Station = mapqn.Station
+	// MAPNetworkModelN is the closed K-station MAP queueing network.
+	MAPNetworkModelN = mapqn.NetworkModel
+	// MAPNetworkMetricsN is its exact solution, with per-station slices.
+	MAPNetworkMetricsN = mapqn.NetworkMetrics
+	// MAPNetworkBoundsN brackets an N-tier network's throughput.
+	MAPNetworkBoundsN = mapqn.NetworkBoundsResult
 	// SolverOptions tunes the CTMC steady-state solver.
 	SolverOptions = ctmc.Options
 
@@ -140,6 +170,12 @@ func Characterize(u UtilizationSamples) (Characterization, error) {
 	return inference.Characterize(u, inference.Options{})
 }
 
+// CharacterizeAll characterizes every tier of an N-tier system in one
+// call, returning one Characterization per input in visit order.
+func CharacterizeAll(tiers []UtilizationSamples) ([]Characterization, error) {
+	return inference.CharacterizeAll(tiers, inference.Options{})
+}
+
 // FitMAP2 builds a two-phase MAP service process from the paper's three
 // measurements (Section 4.1). Pass p95 = 0 when unmeasured.
 func FitMAP2(mean, indexOfDispersion, p95 float64, opts FitOptions) (FitResult, error) {
@@ -158,14 +194,41 @@ func NewPlanFromCharacterizations(front, db Characterization, thinkTime float64,
 	return core.BuildPlanFromCharacterizations(front, db, thinkTime, opts)
 }
 
-// SolveMAPNetwork solves the closed MAP queueing network exactly.
+// NewPlanN builds an N-tier capacity-planning model from one set of
+// monitoring samples per tier (in visit order: front first, database
+// last), to be evaluated at think time thinkTime. Tier labels come from
+// opts.TierNames when set.
+func NewPlanN(tiers []UtilizationSamples, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
+	return core.BuildPlanN(tiers, thinkTime, opts)
+}
+
+// NewPlanNFromCharacterizations builds an N-tier plan from pre-computed
+// per-tier characterizations.
+func NewPlanNFromCharacterizations(tiers []Characterization, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
+	return core.BuildPlanNFromCharacterizations(tiers, thinkTime, opts)
+}
+
+// SolveMAPNetwork solves the closed two-station MAP queueing network
+// exactly.
 func SolveMAPNetwork(m MAPNetworkModel, opts SolverOptions) (MAPNetworkMetrics, error) {
 	return mapqn.Solve(m, opts)
+}
+
+// SolveMAPNetworkN solves a closed K-station MAP queueing network
+// exactly, returning per-station metrics.
+func SolveMAPNetworkN(m MAPNetworkModelN, opts SolverOptions) (MAPNetworkMetricsN, error) {
+	return mapqn.SolveNetwork(m, opts)
 }
 
 // SolveMVA solves the classical MVA baseline at population n.
 func SolveMVA(frontDemand, dbDemand, thinkTime float64, n int) (MVAResult, error) {
 	return mva.Solve(mva.Model(frontDemand, dbDemand, thinkTime), n)
+}
+
+// SolveMVAN solves the K-station MVA baseline (one demand per tier) at
+// population n.
+func SolveMVAN(demands []float64, thinkTime float64, n int) (MVAResult, error) {
+	return mva.Solve(mva.ModelN(demands, nil, thinkTime), n)
 }
 
 // SimulateTPCW runs the TPC-W testbed simulator.
@@ -209,6 +272,13 @@ func ModelBounds(m MAPNetworkModel) (MAPNetworkBounds, error) {
 
 // MAPNetworkBounds is the result of ModelBounds.
 type MAPNetworkBounds = mapqn.BoundsResult
+
+// ModelBoundsN brackets an N-tier MAP network's throughput with two
+// O(N*K) product-form evaluations — usable at populations far beyond
+// exact CTMC reach.
+func ModelBoundsN(m MAPNetworkModelN) (MAPNetworkBoundsN, error) {
+	return mapqn.NetworkBounds(m)
+}
 
 // FitMMPP2FromCounts fits a two-state MMPP from counting statistics:
 // fundamental rate, index of dispersion, and burst time scale. Use it

@@ -1,13 +1,17 @@
 // Command capplan runs the paper's end-to-end capacity-planning pipeline:
-// from two monitoring CSV files (front and database tier, lines of
-// "utilization,completions" per sampling period) it characterizes each
-// tier (mean, I, p95), fits MAP(2) service processes, and predicts
-// throughput and response time over a range of emulated-browser counts
-// with both the burstiness-aware MAP model and the MVA baseline.
+// from per-tier monitoring CSV files (lines of "utilization,completions"
+// per sampling period) it characterizes each tier (mean, I, p95), fits
+// MAP(2) service processes, and predicts throughput and response time
+// over a range of emulated-browser counts with both the burstiness-aware
+// MAP model and the MVA baseline.
 //
-// Usage:
+// Two-tier usage (the paper's front + DB setup):
 //
 //	capplan -front front.csv -db db.csv -period 5 -z 0.5 -ebs 25,50,75,100,150
+//
+// N-tier usage (one CSV per tier, in visit order):
+//
+//	capplan -tiers front.csv,app.csv,db.csv -names front,app,db -period 5 -z 0.5 -ebs 25,50,100
 package main
 
 import (
@@ -33,48 +37,79 @@ func main() {
 func run() error {
 	frontPath := flag.String("front", "", "front-tier monitoring CSV (utilization,completions)")
 	dbPath := flag.String("db", "", "database-tier monitoring CSV")
+	tiersList := flag.String("tiers", "", "comma-separated per-tier monitoring CSVs in visit order (N-tier mode; overrides -front/-db)")
+	namesList := flag.String("names", "", "comma-separated tier names for -tiers (default front,app...,db)")
 	period := flag.Float64("period", 5, "sampling period of the CSVs in seconds")
 	z := flag.Float64("z", 0.5, "think time Z_qn for the what-if model")
 	ebsList := flag.String("ebs", "25,50,75,100,150", "comma-separated EB counts to evaluate")
 	flag.Parse()
-	if *frontPath == "" || *dbPath == "" {
-		return fmt.Errorf("both -front and -db CSV files are required")
+
+	var paths []string
+	switch {
+	case *tiersList != "":
+		for _, p := range strings.Split(*tiersList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("-tiers lists no files")
+		}
+	case *frontPath != "" && *dbPath != "":
+		paths = []string{*frontPath, *dbPath}
+	default:
+		return fmt.Errorf("either -tiers or both -front and -db CSV files are required")
 	}
 
-	front, err := readCSV(*frontPath, *period)
-	if err != nil {
-		return fmt.Errorf("front: %w", err)
+	opts := core.PlannerOptions{}
+	if *namesList != "" {
+		for _, n := range strings.Split(*namesList, ",") {
+			opts.TierNames = append(opts.TierNames, strings.TrimSpace(n))
+		}
 	}
-	db, err := readCSV(*dbPath, *period)
-	if err != nil {
-		return fmt.Errorf("db: %w", err)
+
+	samples := make([]trace.UtilizationSamples, len(paths))
+	for i, p := range paths {
+		s, err := readCSV(p, *period)
+		if err != nil {
+			return fmt.Errorf("tier %d (%s): %w", i, p, err)
+		}
+		samples[i] = s
 	}
 	populations, err := parseEBs(*ebsList)
 	if err != nil {
 		return err
 	}
 
-	plan, err := core.BuildPlan(front, db, *z, core.PlannerOptions{})
+	plan, err := core.BuildPlanN(samples, *z, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("front: S=%.6gs I=%.4g p95=%.6gs (fit: SCV=%.3g gamma=%.3g)\n",
-		plan.Front.MeanServiceTime, plan.Front.IndexOfDispersion, plan.Front.P95ServiceTime,
-		plan.FrontFit.SCV, plan.FrontFit.Gamma)
-	fmt.Printf("db:    S=%.6gs I=%.4g p95=%.6gs (fit: SCV=%.3g gamma=%.3g)\n",
-		plan.DB.MeanServiceTime, plan.DB.IndexOfDispersion, plan.DB.P95ServiceTime,
-		plan.DBFit.SCV, plan.DBFit.Gamma)
+	for _, tier := range plan.Tiers {
+		fmt.Printf("%-8s S=%.6gs I=%.4g p95=%.6gs (fit: SCV=%.3g gamma=%.3g)\n",
+			tier.Name+":", tier.Characterization.MeanServiceTime,
+			tier.Characterization.IndexOfDispersion, tier.Characterization.P95ServiceTime,
+			tier.Fit.SCV, tier.Fit.Gamma)
+	}
 
 	preds, err := plan.Predict(populations)
 	if err != nil {
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "EBs\tMAP TPUT\tMAP R(s)\tMAP U_f\tMAP U_db\tMVA TPUT\tMVA R(s)")
+	header := "EBs\tMAP TPUT\tMAP R(s)"
+	for _, tier := range plan.Tiers {
+		header += "\tMAP U_" + tier.Name
+	}
+	header += "\tMVA TPUT\tMVA R(s)"
+	fmt.Fprintln(w, header)
 	for _, p := range preds {
-		fmt.Fprintf(w, "%d\t%.1f\t%.4f\t%.2f\t%.2f\t%.1f\t%.4f\n",
-			p.EBs, p.MAP.Throughput, p.MAP.ResponseTime, p.MAP.UtilFront, p.MAP.UtilDB,
-			p.MVA.Throughput, p.MVA.ResponseTime)
+		row := fmt.Sprintf("%d\t%.1f\t%.4f", p.EBs, p.MAP.Throughput, p.MAP.ResponseTime)
+		for _, u := range p.MAP.Utils {
+			row += fmt.Sprintf("\t%.2f", u)
+		}
+		row += fmt.Sprintf("\t%.1f\t%.4f", p.MVA.Throughput, p.MVA.ResponseTime)
+		fmt.Fprintln(w, row)
 	}
 	return w.Flush()
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/inference"
+	"repro/internal/mapqn"
+	"repro/internal/markov"
+	"repro/internal/mva"
+	"repro/internal/trace"
+)
+
+// Tier is one tier of an N-tier capacity plan: the measured service
+// characterization, the fitted MAP(2) service process, and the visit
+// ratio with which requests hit the tier.
+type Tier struct {
+	// Name labels the tier ("front", "app", "db", ...).
+	Name string
+	// Characterization is the inferred (mean, I, p95) service description.
+	Characterization inference.Characterization
+	// Fit is the fitted MAP(2) service process.
+	Fit markov.FitResult
+	// Visits is the tier's visit ratio per think-to-think cycle (1 when
+	// every request passes the tier exactly once).
+	Visits float64
+}
+
+// Demand returns the tier's aggregate mean service demand per cycle.
+func (t Tier) Demand() float64 { return t.Visits * t.Characterization.MeanServiceTime }
+
+// PlanN is a parameterized capacity-planning model for a K-tier system:
+// the N-tier generalization of Plan. Tiers are visited in slice order.
+type PlanN struct {
+	// Tiers are the characterized and fitted tiers in visit order.
+	Tiers []Tier
+	// ThinkTime is the think time Z_qn the model will be evaluated with.
+	ThinkTime float64
+
+	opts PlannerOptions
+}
+
+// tierNames resolves tier labels: explicit names win, then the paper's
+// front/db convention for two tiers, then front/app.../db for deeper
+// chains.
+func tierNames(k int, explicit []string) ([]string, error) {
+	if len(explicit) != 0 {
+		if len(explicit) != k {
+			return nil, fmt.Errorf("core: %d tier names for %d tiers", len(explicit), k)
+		}
+		return append([]string(nil), explicit...), nil
+	}
+	names := make([]string, k)
+	for i := range names {
+		switch {
+		case i == 0:
+			names[i] = "front"
+		case i == k-1:
+			names[i] = "db"
+		case k == 3:
+			names[i] = "app"
+		default:
+			names[i] = fmt.Sprintf("app%d", i)
+		}
+	}
+	if k == 1 {
+		names[0] = "server"
+	}
+	return names, nil
+}
+
+// BuildPlanN runs the full Section 4 pipeline for a K-tier system:
+// characterize each tier from its monitoring samples (mean, I, p95),
+// then fit a MAP(2) per tier. tiers[0] is the first tier a request hits;
+// thinkTime is the Z_qn the resulting model will be evaluated at, which
+// may differ from the think time of the measured system (Z_estim) — the
+// paper exploits exactly this to improve estimation granularity
+// (Fig. 11). Tier labels come from opts.TierNames when set.
+func BuildPlanN(tiers []trace.UtilizationSamples, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
+	if len(tiers) == 0 {
+		return nil, errors.New("core: no tiers to plan for")
+	}
+	chars, err := inference.CharacterizeAll(tiers, opts.Inference)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return BuildPlanNFromCharacterizations(chars, thinkTime, opts)
+}
+
+// BuildPlanNFromCharacterizations skips the measurement step, fitting
+// MAP(2)s directly from already-computed per-tier characterizations.
+func BuildPlanNFromCharacterizations(chars []inference.Characterization, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
+	if thinkTime <= 0 {
+		return nil, fmt.Errorf("core: think time %v must be > 0", thinkTime)
+	}
+	if len(chars) == 0 {
+		return nil, errors.New("core: no tiers to plan for")
+	}
+	names, err := tierNames(len(chars), opts.TierNames)
+	if err != nil {
+		return nil, err
+	}
+	plan := &PlanN{ThinkTime: thinkTime, opts: opts, Tiers: make([]Tier, len(chars))}
+	for i, c := range chars {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %s characterization: %w", names[i], err)
+		}
+		fit, err := markov.FitThreePoint(c.MeanServiceTime, c.IndexOfDispersion, c.P95ServiceTime, opts.Fit)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s MAP fit: %w", names[i], err)
+		}
+		plan.Tiers[i] = Tier{Name: names[i], Characterization: c, Fit: fit, Visits: 1}
+	}
+	return plan, nil
+}
+
+// Stations assembles the MAP network stations of the plan.
+func (p *PlanN) Stations() []mapqn.Station {
+	out := make([]mapqn.Station, len(p.Tiers))
+	for i, t := range p.Tiers {
+		out[i] = mapqn.Station{Name: t.Name, MAP: t.Fit.MAP, Visits: t.Visits}
+	}
+	return out
+}
+
+// Baseline builds the classical MVA network over the tiers' mean
+// demands — the burstiness-blind model of Section 3.4.
+func (p *PlanN) Baseline() mva.Network {
+	demands := make([]float64, len(p.Tiers))
+	names := make([]string, len(p.Tiers))
+	for i, t := range p.Tiers {
+		demands[i] = t.Demand()
+		names[i] = t.Name
+	}
+	return mva.ModelN(demands, names, p.ThinkTime)
+}
+
+// PredictionN is the N-tier model output at one population level.
+type PredictionN struct {
+	EBs int
+	// MAP holds the burstiness-aware model's per-station metrics.
+	MAP mapqn.NetworkMetrics
+	// MVA holds the product-form baseline's metrics.
+	MVA mva.Result
+}
+
+// Predict evaluates both models at each population level.
+func (p *PlanN) Predict(populations []int) ([]PredictionN, error) {
+	if len(populations) == 0 {
+		return nil, errors.New("core: no populations requested")
+	}
+	baseline := p.Baseline()
+	stations := p.Stations()
+	out := make([]PredictionN, 0, len(populations))
+	for _, n := range populations {
+		if n < 1 {
+			return nil, fmt.Errorf("core: population %d must be >= 1", n)
+		}
+		met, err := mapqn.SolveNetwork(mapqn.NetworkModel{
+			Stations:  stations,
+			ThinkTime: p.ThinkTime,
+			Customers: n,
+		}, p.opts.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("core: MAP model at %d EBs: %w", n, err)
+		}
+		base, err := mva.Solve(baseline, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: MVA at %d EBs: %w", n, err)
+		}
+		out = append(out, PredictionN{EBs: n, MAP: met, MVA: base})
+	}
+	return out, nil
+}
+
+// Bounds brackets the MAP network's throughput at each population with
+// two O(N*K) product-form evaluations, usable far beyond exact CTMC
+// reach.
+func (p *PlanN) Bounds(populations []int) ([]mapqn.NetworkBoundsResult, error) {
+	if len(populations) == 0 {
+		return nil, errors.New("core: no populations requested")
+	}
+	return mapqn.NetworkBoundsSweep(p.Stations(), p.ThinkTime, populations)
+}
+
+// Compare evaluates both models against measured throughputs.
+// populations and measured must have equal lengths.
+func (p *PlanN) Compare(populations []int, measured []float64) ([]Accuracy, error) {
+	if len(populations) != len(measured) {
+		return nil, fmt.Errorf("core: %d populations vs %d measurements", len(populations), len(measured))
+	}
+	preds, err := p.Predict(populations)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Accuracy, len(preds))
+	for i, pr := range preds {
+		if measured[i] <= 0 {
+			return nil, fmt.Errorf("core: measured throughput %v at %d EBs invalid", measured[i], pr.EBs)
+		}
+		out[i] = Accuracy{
+			EBs:              pr.EBs,
+			Measured:         measured[i],
+			MAPPredicted:     pr.MAP.Throughput,
+			MVAPredicted:     pr.MVA.Throughput,
+			MAPRelativeError: relErr(pr.MAP.Throughput, measured[i]),
+			MVARelativeError: relErr(pr.MVA.Throughput, measured[i]),
+		}
+	}
+	return out, nil
+}

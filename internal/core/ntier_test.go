@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/trace"
+)
+
+func TestBuildPlanNFromCharacterizations(t *testing.T) {
+	chars := []inference.Characterization{
+		validChar(0.005, 40, 0.02),
+		validChar(0.006, 120, 0.04),
+		validChar(0.004, 300, 0.03),
+	}
+	plan, err := BuildPlanNFromCharacterizations(chars, 0.5, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tiers) != 3 {
+		t.Fatalf("got %d tiers, want 3", len(plan.Tiers))
+	}
+	wantNames := []string{"front", "app", "db"}
+	for i, tier := range plan.Tiers {
+		if tier.Name != wantNames[i] {
+			t.Errorf("tier %d name %q, want %q", i, tier.Name, wantNames[i])
+		}
+		if tier.Fit.MAP == nil {
+			t.Fatalf("tier %d has no fitted MAP", i)
+		}
+		if math.Abs(tier.Fit.MAP.Mean()-chars[i].MeanServiceTime) > 1e-6 {
+			t.Errorf("tier %d fitted mean %v, want %v", i, tier.Fit.MAP.Mean(), chars[i].MeanServiceTime)
+		}
+		if tier.Visits != 1 {
+			t.Errorf("tier %d default visits %v, want 1", i, tier.Visits)
+		}
+	}
+}
+
+func TestBuildPlanNErrors(t *testing.T) {
+	good := validChar(0.005, 40, 0.02)
+	if _, err := BuildPlanNFromCharacterizations(nil, 0.5, PlannerOptions{}); err == nil {
+		t.Error("expected error for no tiers")
+	}
+	if _, err := BuildPlanNFromCharacterizations([]inference.Characterization{good}, 0, PlannerOptions{}); err == nil {
+		t.Error("expected error for zero think time")
+	}
+	bad := validChar(0, 40, 0.02)
+	if _, err := BuildPlanNFromCharacterizations([]inference.Characterization{good, bad}, 0.5, PlannerOptions{}); err == nil {
+		t.Error("expected error for invalid characterization")
+	}
+	if _, err := BuildPlanNFromCharacterizations([]inference.Characterization{good, good}, 0.5,
+		PlannerOptions{TierNames: []string{"only-one"}}); err == nil {
+		t.Error("expected error for name/tier count mismatch")
+	}
+	if _, err := BuildPlanN(nil, 0.5, PlannerOptions{}); err == nil {
+		t.Error("expected error for no tier samples")
+	}
+	if _, err := BuildPlanN([]trace.UtilizationSamples{{}}, 0.5, PlannerOptions{}); err == nil {
+		t.Error("expected error for empty samples")
+	}
+}
+
+// TestTwoTierPlanMatchesPlanN: the legacy Plan is a wrapper, so its
+// predictions must equal the K=2 PlanN's exactly.
+func TestTwoTierPlanMatchesPlanN(t *testing.T) {
+	front := validChar(0.006, 30, 0.025)
+	db := validChar(0.004, 150, 0.03)
+	legacy, err := BuildPlanFromCharacterizations(front, db, 0.5, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := BuildPlanNFromCharacterizations([]inference.Characterization{front, db}, 0.5, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pops := []int{5, 25}
+	a, err := legacy.Predict(pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Predict(pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MAP.Throughput != b[i].MAP.Throughput {
+			t.Errorf("pop %d: Plan X %v != PlanN X %v", pops[i], a[i].MAP.Throughput, b[i].MAP.Throughput)
+		}
+		if a[i].MAP.UtilFront != b[i].MAP.Utils[0] || a[i].MAP.UtilDB != b[i].MAP.Utils[1] {
+			t.Errorf("pop %d: utilization mismatch between Plan and PlanN", pops[i])
+		}
+	}
+	if legacy.N() == nil || len(legacy.N().Tiers) != 2 {
+		t.Error("legacy plan does not expose its N-tier core")
+	}
+}
+
+func TestPlanNPredictThreeTier(t *testing.T) {
+	plan, err := BuildPlanNFromCharacterizations([]inference.Characterization{
+		validChar(0.004, 20, 0.015),
+		validChar(0.006, 150, 0.04), // bursty middle tier
+		validChar(0.003, 10, 0.008),
+	}, 0.5, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := plan.Predict([]int{1, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevMAP, prevMVA := 0.0, 0.0
+	for _, p := range preds {
+		if len(p.MAP.Utils) != 3 || len(p.MVA.Utilizations) != 3 {
+			t.Fatalf("per-station slices wrong length: %+v", p)
+		}
+		if p.MAP.Throughput < prevMAP || p.MVA.Throughput < prevMVA {
+			t.Errorf("non-monotone throughput at %d EBs", p.EBs)
+		}
+		prevMAP, prevMVA = p.MAP.Throughput, p.MVA.Throughput
+		// Burstiness can only hurt: the MAP model must not predict more
+		// throughput than the product-form baseline.
+		if p.MAP.Throughput > p.MVA.Throughput*1.01 {
+			t.Errorf("%d EBs: MAP X %v exceeds MVA X %v", p.EBs, p.MAP.Throughput, p.MVA.Throughput)
+		}
+		// Conservation across three stations plus think pool.
+		total := p.MAP.Thinking
+		for _, q := range p.MAP.QueueLens {
+			total += q
+		}
+		if math.Abs(total-float64(p.EBs)) > 1e-6*float64(p.EBs) {
+			t.Errorf("%d EBs: conservation violated: %v", p.EBs, total)
+		}
+	}
+	// Bounds bracket the exact solutions.
+	bounds, err := plan.Bounds([]int{10, 30, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[1].MAP.Throughput > bounds[0].UpperX*1.001 || preds[1].MAP.Throughput < bounds[0].LowerX*0.999 {
+		t.Errorf("bounds [%v, %v] miss exact %v", bounds[0].LowerX, bounds[0].UpperX, preds[1].MAP.Throughput)
+	}
+	// Large-population bounds answer without a CTMC solve.
+	if bounds[2].Customers != 500 || bounds[2].UpperX <= 0 {
+		t.Errorf("large-population bounds invalid: %+v", bounds[2])
+	}
+}
+
+func TestPlanNCompare(t *testing.T) {
+	plan, err := BuildPlanNFromCharacterizations([]inference.Characterization{
+		validChar(0.005, 5, 0.02),
+		validChar(0.004, 5, 0.02),
+		validChar(0.006, 5, 0.02),
+	}, 0.5, PlannerOptions{TierNames: []string{"web", "cache", "db"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Tiers[1].Name != "cache" {
+		t.Errorf("explicit tier name not applied: %q", plan.Tiers[1].Name)
+	}
+	if _, err := plan.Compare([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := plan.Compare([]int{1}, []float64{0}); err == nil {
+		t.Error("expected error for zero measurement")
+	}
+	acc, err := plan.Compare([]int{5}, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc[0].EBs != 5 || acc[0].Measured != 8 || acc[0].MAPPredicted <= 0 {
+		t.Errorf("accuracy record wrong: %+v", acc[0])
+	}
+}
+
+// TestLiteralPlanStillPredicts: a Plan built from its exported fields
+// (not via a constructor) must keep working — it assembles its N-tier
+// core lazily.
+func TestLiteralPlanStillPredicts(t *testing.T) {
+	built, err := BuildPlanFromCharacterizations(
+		validChar(0.005, 40, 0.02), validChar(0.004, 60, 0.03), 0.5, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	literal := &Plan{
+		Front: built.Front, DB: built.DB,
+		FrontFit: built.FrontFit, DBFit: built.DBFit,
+		ThinkTime: 0.5,
+	}
+	a, err := literal.Predict([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := built.Predict([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].MAP.Throughput != b[0].MAP.Throughput {
+		t.Errorf("literal plan X %v != built plan X %v", a[0].MAP.Throughput, b[0].MAP.Throughput)
+	}
+	if _, err := (&Plan{ThinkTime: 0.5}).Predict([]int{1}); err == nil {
+		t.Error("expected error for plan without fitted MAPs")
+	}
+	if _, err := (&Plan{}).Compare([]int{1}, []float64{1}); err == nil {
+		t.Error("expected error for zero-value plan")
+	}
+}

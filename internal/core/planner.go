@@ -4,13 +4,17 @@
 // Section 4 and (2) the classical MVA baseline of Section 3.4, and
 // predict throughput, response time and utilizations as the number of
 // emulated browsers grows. This is the piece a practitioner would use:
-// feed it `sar`-style utilization samples and transaction counts for the
-// front and database tiers, get capacity predictions that remain accurate
-// under bursty workloads and bottleneck switch.
+// feed it `sar`-style utilization samples and transaction counts for
+// each tier, get capacity predictions that remain accurate under bursty
+// workloads and bottleneck switch.
+//
+// The N-tier entry points are BuildPlanN / PlanN, which accept one
+// monitoring-sample set per tier (front, app, ..., db). BuildPlan / Plan
+// are the original two-tier API, retained as thin wrappers over the
+// N-tier pipeline.
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/ctmc"
@@ -29,9 +33,13 @@ type PlannerOptions struct {
 	Fit markov.FitOptions
 	// Solver configures the CTMC steady-state solver.
 	Solver ctmc.Options
+	// TierNames optionally labels the tiers of an N-tier plan (one per
+	// tier, in visit order). Empty uses front/app.../db defaults.
+	TierNames []string
 }
 
-// Plan is a parameterized capacity-planning model for a two-tier system.
+// Plan is a parameterized capacity-planning model for a two-tier system:
+// the K=2 special case of PlanN.
 type Plan struct {
 	// Front and DB are the inferred service characterizations.
 	Front, DB inference.Characterization
@@ -40,14 +48,13 @@ type Plan struct {
 	// ThinkTime is the think time Z_qn the model will be evaluated with.
 	ThinkTime float64
 
-	opts PlannerOptions
+	n *PlanN
 }
 
-// BuildPlan runs the full Section 4 pipeline: characterize each tier from
-// its monitoring samples (mean, I, p95), then fit a MAP(2) per tier.
-// thinkTime is the Z_qn the resulting model will be evaluated at, which
-// may differ from the think time of the measured system (Z_estim) — the
-// paper exploits exactly this to improve estimation granularity (Fig. 11).
+// BuildPlan runs the full Section 4 pipeline for the paper's two-tier
+// system: characterize each tier from its monitoring samples
+// (mean, I, p95), then fit a MAP(2) per tier. It is a thin wrapper over
+// BuildPlanN.
 func BuildPlan(front, db trace.UtilizationSamples, thinkTime float64, opts PlannerOptions) (*Plan, error) {
 	if thinkTime <= 0 {
 		return nil, fmt.Errorf("core: think time %v must be > 0", thinkTime)
@@ -66,30 +73,45 @@ func BuildPlan(front, db trace.UtilizationSamples, thinkTime float64, opts Plann
 // BuildPlanFromCharacterizations skips the measurement step, fitting
 // MAP(2)s directly from already-computed characterizations.
 func BuildPlanFromCharacterizations(front, db inference.Characterization, thinkTime float64, opts PlannerOptions) (*Plan, error) {
-	if thinkTime <= 0 {
-		return nil, fmt.Errorf("core: think time %v must be > 0", thinkTime)
+	if len(opts.TierNames) == 0 {
+		opts.TierNames = []string{"front", "db"}
 	}
-	if err := front.Validate(); err != nil {
-		return nil, fmt.Errorf("core: front characterization: %w", err)
-	}
-	if err := db.Validate(); err != nil {
-		return nil, fmt.Errorf("core: db characterization: %w", err)
-	}
-	ff, err := markov.FitThreePoint(front.MeanServiceTime, front.IndexOfDispersion, front.P95ServiceTime, opts.Fit)
+	n, err := BuildPlanNFromCharacterizations([]inference.Characterization{front, db}, thinkTime, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: front MAP fit: %w", err)
-	}
-	df, err := markov.FitThreePoint(db.MeanServiceTime, db.IndexOfDispersion, db.P95ServiceTime, opts.Fit)
-	if err != nil {
-		return nil, fmt.Errorf("core: db MAP fit: %w", err)
+		return nil, err
 	}
 	return &Plan{
-		Front:     front,
-		DB:        db,
-		FrontFit:  ff,
-		DBFit:     df,
+		Front:     n.Tiers[0].Characterization,
+		DB:        n.Tiers[1].Characterization,
+		FrontFit:  n.Tiers[0].Fit,
+		DBFit:     n.Tiers[1].Fit,
 		ThinkTime: thinkTime,
-		opts:      opts,
+		n:         n,
+	}, nil
+}
+
+// N exposes the underlying N-tier plan.
+func (p *Plan) N() *PlanN { return p.n }
+
+// planN returns the wrapped N-tier plan, assembling one from the
+// exported fields when the Plan was constructed literally rather than
+// through a Build* constructor.
+func (p *Plan) planN() (*PlanN, error) {
+	if p.n != nil {
+		return p.n, nil
+	}
+	if p.ThinkTime <= 0 {
+		return nil, fmt.Errorf("core: think time %v must be > 0", p.ThinkTime)
+	}
+	if p.FrontFit.MAP == nil || p.DBFit.MAP == nil {
+		return nil, fmt.Errorf("core: plan has no fitted MAPs; use BuildPlan or BuildPlanFromCharacterizations")
+	}
+	return &PlanN{
+		Tiers: []Tier{
+			{Name: "front", Characterization: p.Front, Fit: p.FrontFit, Visits: 1},
+			{Name: "db", Characterization: p.DB, Fit: p.DBFit, Visits: 1},
+		},
+		ThinkTime: p.ThinkTime,
 	}, nil
 }
 
@@ -105,29 +127,21 @@ type Prediction struct {
 
 // Predict evaluates both models at each population level.
 func (p *Plan) Predict(populations []int) ([]Prediction, error) {
-	if len(populations) == 0 {
-		return nil, errors.New("core: no populations requested")
+	n, err := p.planN()
+	if err != nil {
+		return nil, err
 	}
-	baseline := mva.Model(p.Front.MeanServiceTime, p.DB.MeanServiceTime, p.ThinkTime)
-	out := make([]Prediction, 0, len(populations))
-	for _, n := range populations {
-		if n < 1 {
-			return nil, fmt.Errorf("core: population %d must be >= 1", n)
-		}
-		met, err := mapqn.Solve(mapqn.Model{
-			Front:     p.FrontFit.MAP,
-			DB:        p.DBFit.MAP,
-			ThinkTime: p.ThinkTime,
-			Customers: n,
-		}, p.opts.Solver)
+	preds, err := n.Predict(populations)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(preds))
+	for i, pr := range preds {
+		two, err := pr.MAP.AsTwoTier()
 		if err != nil {
-			return nil, fmt.Errorf("core: MAP model at %d EBs: %w", n, err)
+			return nil, err
 		}
-		base, err := mva.Solve(baseline, n)
-		if err != nil {
-			return nil, fmt.Errorf("core: MVA at %d EBs: %w", n, err)
-		}
-		out = append(out, Prediction{EBs: n, MAP: met, MVA: base})
+		out[i] = Prediction{EBs: pr.EBs, MAP: two, MVA: pr.MVA}
 	}
 	return out, nil
 }
@@ -147,28 +161,11 @@ type Accuracy struct {
 // Compare evaluates both models against measured throughputs.
 // populations and measured must have equal lengths.
 func (p *Plan) Compare(populations []int, measured []float64) ([]Accuracy, error) {
-	if len(populations) != len(measured) {
-		return nil, fmt.Errorf("core: %d populations vs %d measurements", len(populations), len(measured))
-	}
-	preds, err := p.Predict(populations)
+	n, err := p.planN()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Accuracy, len(preds))
-	for i, pr := range preds {
-		if measured[i] <= 0 {
-			return nil, fmt.Errorf("core: measured throughput %v at %d EBs invalid", measured[i], pr.EBs)
-		}
-		out[i] = Accuracy{
-			EBs:              pr.EBs,
-			Measured:         measured[i],
-			MAPPredicted:     pr.MAP.Throughput,
-			MVAPredicted:     pr.MVA.Throughput,
-			MAPRelativeError: relErr(pr.MAP.Throughput, measured[i]),
-			MVARelativeError: relErr(pr.MVA.Throughput, measured[i]),
-		}
-	}
-	return out, nil
+	return n.Compare(populations, measured)
 }
 
 func relErr(pred, actual float64) float64 {

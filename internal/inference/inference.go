@@ -72,6 +72,25 @@ func Characterize(samples trace.UtilizationSamples, opts Options) (Characterizat
 	}, nil
 }
 
+// CharacterizeAll runs the Section 4.1 estimation pipeline on every
+// tier of a multi-tier system in one call, returning one
+// characterization per input in order (front, app, ..., db). It is the
+// measurement entry point of the N-tier planning pipeline.
+func CharacterizeAll(samples []trace.UtilizationSamples, opts Options) ([]Characterization, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("inference: no tiers to characterize")
+	}
+	out := make([]Characterization, len(samples))
+	for i, s := range samples {
+		c, err := Characterize(s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("inference: tier %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
 // Validate sanity-checks a characterization before it is used for
 // fitting.
 func (c Characterization) Validate() error {

@@ -157,3 +157,44 @@ func TestEstimateDemandErrors(t *testing.T) {
 		t.Error("expected error for negative regression slope")
 	}
 }
+
+func TestCharacterizeAll(t *testing.T) {
+	mk := func(seed int64) trace.UtilizationSamples {
+		u := trace.UtilizationSamples{PeriodSeconds: 5}
+		v := seed
+		for i := 0; i < 300; i++ {
+			v = (v*1103515245 + 12345) % (1 << 31)
+			c := 20 + float64(v%40)
+			u.Completions = append(u.Completions, c)
+			u.Utilization = append(u.Utilization, 0.4+0.5*c/60)
+		}
+		return u
+	}
+	tiers := []trace.UtilizationSamples{mk(1), mk(7), mk(42)}
+	chars, err := CharacterizeAll(tiers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != 3 {
+		t.Fatalf("got %d characterizations, want 3", len(chars))
+	}
+	for i, c := range chars {
+		if err := c.Validate(); err != nil {
+			t.Errorf("tier %d characterization invalid: %v", i, err)
+		}
+		// Must agree with the single-tier path.
+		single, err := Characterize(tiers[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != single {
+			t.Errorf("tier %d: CharacterizeAll differs from Characterize", i)
+		}
+	}
+	if _, err := CharacterizeAll(nil, Options{}); err == nil {
+		t.Error("expected error for empty tier list")
+	}
+	if _, err := CharacterizeAll([]trace.UtilizationSamples{{}}, Options{}); err == nil {
+		t.Error("expected error for invalid samples")
+	}
+}

@@ -9,12 +9,13 @@ import (
 	"repro/internal/mva"
 )
 
-// BoundsResult brackets the throughput of the MAP queueing network at one
-// population without solving the CTMC. The paper notes (Section 4.2) that
-// exact solution becomes infeasible for very large EB counts — e.g.,
-// Z = 7 s would need ~1200 EBs to reach heavy load — and points to the
-// bound analysis of [Casale, Mi & Smirni, SIGMETRICS'08]. The bounds here
-// follow that spirit with two product-form evaluations:
+// NetworkBoundsResult brackets the throughput of a K-station MAP
+// queueing network at one population without solving the CTMC. The paper
+// notes (Section 4.2) that exact solution becomes infeasible for very
+// large EB counts — e.g., Z = 7 s would need ~1200 EBs to reach heavy
+// load — and points to the bound analysis of [Casale, Mi & Smirni,
+// SIGMETRICS'08]. The bounds here follow that spirit with two
+// product-form evaluations:
 //
 //   - Upper: exact MVA on the mean demands. Burstiness redistributes
 //     service capacity in time but cannot add any; the renewal
@@ -24,8 +25,65 @@ import (
 //     every job at its slowest phase rate (the worst sustained regime the
 //     modulating chain can pin the station in).
 //
-// Both evaluations cost O(N) instead of O(N^2) states, so they scale to
-// arbitrary populations.
+// Both evaluations cost O(N*K) instead of a CTMC over the full
+// population-phase lattice, so they scale to arbitrary populations.
+type NetworkBoundsResult struct {
+	Customers int
+	UpperX    float64
+	LowerX    float64
+	// UpperDemands[i] and LowerDemands[i] are the per-station demands the
+	// two product-form evaluations used.
+	UpperDemands, LowerDemands []float64
+	// StationNames labels the demand slices.
+	StationNames []string
+}
+
+// NetworkBounds computes throughput bounds for the K-station network at
+// its population.
+func NetworkBounds(m NetworkModel) (NetworkBoundsResult, error) {
+	if err := m.Validate(); err != nil {
+		return NetworkBoundsResult{}, err
+	}
+	k := len(m.Stations)
+	names := m.StationNames()
+	upperD := make([]float64, k)
+	lowerD := make([]float64, k)
+	for i, st := range m.Stations {
+		em, err := st.effectiveMAP()
+		if err != nil {
+			return NetworkBoundsResult{}, fmt.Errorf("mapqn: station %d (%s): %w", i, st.Name, err)
+		}
+		upperD[i] = em.Mean()
+		slow, err := slowPhaseDemand(em)
+		if err != nil {
+			return NetworkBoundsResult{}, fmt.Errorf("mapqn: station %d (%s): %w", i, st.Name, err)
+		}
+		// For a smoother-than-exponential MAP (SCV < 1, e.g. an
+		// Erlang-like fit) the slowest phase completes faster than the
+		// marginal mean, which would invert the bounds; the pessimistic
+		// demand is never below the mean demand.
+		lowerD[i] = math.Max(slow, upperD[i])
+	}
+	upper, err := mva.Solve(mva.ModelN(upperD, names, m.ThinkTime), m.Customers)
+	if err != nil {
+		return NetworkBoundsResult{}, fmt.Errorf("mapqn: upper bound: %w", err)
+	}
+	lower, err := mva.Solve(mva.ModelN(lowerD, names, m.ThinkTime), m.Customers)
+	if err != nil {
+		return NetworkBoundsResult{}, fmt.Errorf("mapqn: lower bound: %w", err)
+	}
+	return NetworkBoundsResult{
+		Customers:    m.Customers,
+		UpperX:       upper.Throughput,
+		LowerX:       lower.Throughput,
+		UpperDemands: upperD,
+		LowerDemands: lowerD,
+		StationNames: names,
+	}, nil
+}
+
+// BoundsResult is the two-station NetworkBoundsResult in the legacy
+// field layout.
 type BoundsResult struct {
 	Customers                       int
 	UpperX                          float64
@@ -34,39 +92,21 @@ type BoundsResult struct {
 	LowerDemandFront, LowerDemandDB float64 // slow-phase demands used by the lower bound
 }
 
-// Bounds computes throughput bounds for the model at its population.
+// Bounds computes throughput bounds for the two-station model at its
+// population. It is a thin wrapper over NetworkBounds.
 func Bounds(m Model) (BoundsResult, error) {
-	if err := m.Validate(); err != nil {
-		return BoundsResult{}, err
-	}
-	sFront := m.Front.Mean()
-	sDB := m.DB.Mean()
-	upperNet := mva.Model(sFront, sDB, m.ThinkTime)
-	upper, err := mva.Solve(upperNet, m.Customers)
-	if err != nil {
-		return BoundsResult{}, fmt.Errorf("mapqn: upper bound: %w", err)
-	}
-	slowFront, err := slowPhaseDemand(m.Front)
+	nb, err := NetworkBounds(m.Network())
 	if err != nil {
 		return BoundsResult{}, err
-	}
-	slowDB, err := slowPhaseDemand(m.DB)
-	if err != nil {
-		return BoundsResult{}, err
-	}
-	lowerNet := mva.Model(slowFront, slowDB, m.ThinkTime)
-	lower, err := mva.Solve(lowerNet, m.Customers)
-	if err != nil {
-		return BoundsResult{}, fmt.Errorf("mapqn: lower bound: %w", err)
 	}
 	return BoundsResult{
-		Customers:        m.Customers,
-		UpperX:           upper.Throughput,
-		LowerX:           lower.Throughput,
-		UpperDemandFront: sFront,
-		UpperDemandDB:    sDB,
-		LowerDemandFront: slowFront,
-		LowerDemandDB:    slowDB,
+		Customers:        nb.Customers,
+		UpperX:           nb.UpperX,
+		LowerX:           nb.LowerX,
+		UpperDemandFront: nb.UpperDemands[0],
+		UpperDemandDB:    nb.UpperDemands[1],
+		LowerDemandFront: nb.LowerDemands[0],
+		LowerDemandDB:    nb.LowerDemands[1],
 	}, nil
 }
 
@@ -97,6 +137,19 @@ func BoundsSweep(front, db *markov.MAP, thinkTime float64, populations []int) ([
 	out := make([]BoundsResult, 0, len(populations))
 	for _, n := range populations {
 		b, err := Bounds(Model{Front: front, DB: db, ThinkTime: thinkTime, Customers: n})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// NetworkBoundsSweep evaluates NetworkBounds at each population.
+func NetworkBoundsSweep(stations []Station, thinkTime float64, populations []int) ([]NetworkBoundsResult, error) {
+	out := make([]NetworkBoundsResult, 0, len(populations))
+	for _, n := range populations {
+		b, err := NetworkBounds(NetworkModel{Stations: stations, ThinkTime: thinkTime, Customers: n})
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,18 @@
 // Package mapqn implements the paper's capacity-planning model (Fig. 9
-// parameterized as in Section 4): a closed queueing network of two
-// MAP-service queues in series — the front/application server and the
-// database server — plus a delay station (user think time Z), populated
-// by N customers (emulated browsers). The model is solved exactly by
-// building the underlying continuous-time Markov chain and computing its
-// stationary distribution, the approach the paper uses for model
-// validation (Section 4.2, citing the MAP queueing networks of
+// parameterized as in Section 4), generalized from the paper's two tiers
+// to an arbitrary chain of K MAP-service stations: a closed tandem
+// network of queueing stations — front, application, database, ... —
+// plus a delay station (user think time Z), populated by N customers
+// (emulated browsers). The model is solved exactly by building the
+// underlying continuous-time Markov chain over states
+// (n_0..n_{K-1}, phase_0..phase_{K-1}) and computing its stationary
+// distribution, the approach the paper uses for model validation
+// (Section 4.2, citing the MAP queueing networks of
 // [Casale, Mi & Smirni, SIGMETRICS'08]).
+//
+// The N-tier API is Station / NetworkModel / SolveNetwork /
+// NetworkBounds; the original two-station types (Model, Solve, Bounds)
+// are retained as thin K=2 wrappers.
 //
 // Semantics: each station serves one job at a time, with service
 // completions driven by the station's MAP (transitions in D1 complete the
@@ -26,7 +32,9 @@ import (
 	"repro/internal/matrix"
 )
 
-// Model is the closed two-station MAP queueing network.
+// Model is the closed two-station MAP queueing network, the paper's
+// original front+DB abstraction. It is the K=2 special case of
+// NetworkModel; Solve delegates to the generic N-station solver.
 type Model struct {
 	// Front and DB are the MAP service processes of the two stations.
 	Front, DB *markov.MAP
@@ -84,6 +92,19 @@ type Metrics struct {
 	SolverMethod     string
 }
 
+// Network expresses the two-station model as a generic NetworkModel.
+func (m Model) Network() NetworkModel {
+	return NetworkModel{
+		Stations: []Station{
+			{Name: "front", MAP: m.Front},
+			{Name: "db", MAP: m.DB},
+		},
+		ThinkTime:          m.ThinkTime,
+		Customers:          m.Customers,
+		PhasesRunWhileIdle: m.PhasesRunWhileIdle,
+	}
+}
+
 // stateSpace enumerates states (n1, n2, j1, j2) with n1+n2 <= N.
 // Index layout: for each (n1, n2) pair (triangular), a block of
 // m1*m2 phase combinations.
@@ -138,7 +159,21 @@ func (s *stateSpace) decode(idx int) (n1, n2, j1, j2 int) {
 }
 
 // Solve builds and solves the CTMC, returning exact stationary metrics.
+// It is a thin wrapper over the generic N-station solver.
 func Solve(m Model, opts ctmc.Options) (Metrics, error) {
+	if err := m.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	nm, err := SolveNetwork(m.Network(), opts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return nm.AsTwoTier()
+}
+
+// solveLegacy is the original hardwired two-station solver, retained so
+// tests can verify that the generic K-station path reproduces it.
+func solveLegacy(m Model, opts ctmc.Options) (Metrics, error) {
 	if err := m.Validate(); err != nil {
 		return Metrics{}, err
 	}
@@ -150,7 +185,8 @@ func Solve(m Model, opts ctmc.Options) (Metrics, error) {
 	return collectMetrics(m, space, res)
 }
 
-// buildGenerator assembles the sparse CTMC generator of the model.
+// buildGenerator assembles the sparse CTMC generator of the two-station
+// model (legacy path; the generic solver uses buildGeneratorN).
 func buildGenerator(m Model) (*matrix.CSR, *stateSpace) {
 	n := m.Customers
 	m1, m2 := m.Front.Order(), m.DB.Order()

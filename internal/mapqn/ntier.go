@@ -1,0 +1,434 @@
+package mapqn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// Station is one queueing station of an N-tier closed MAP network: a
+// named server whose service completions are driven by a MAP. Stations
+// are visited in slice order — think pool -> station 0 -> station 1 ->
+// ... -> station K-1 -> think pool — the tandem topology of a multi-tier
+// request path (front, application, database, ...).
+type Station struct {
+	// Name labels the station in reports ("front", "app", "db", ...).
+	Name string
+	// MAP is the station's service process. Transitions in D1 complete
+	// the job in service; transitions in D0 only change the modulating
+	// phase. The phase is frozen while the station idles unless the
+	// network sets PhasesRunWhileIdle.
+	MAP *markov.MAP
+	// Visits is the mean number of visits a request pays to this station
+	// per think-to-think cycle (the visit ratio V_i). Zero means 1. A
+	// station with V != 1 is folded into the tandem chain by scaling its
+	// service process so the mean demand per pass equals V*S — the
+	// standard demand aggregation, which preserves the process's
+	// burstiness structure (SCV, autocorrelations, I are scale-invariant).
+	Visits float64
+}
+
+// effectiveMAP returns the station's service process with the visit
+// ratio folded in.
+func (s Station) effectiveMAP() (*markov.MAP, error) {
+	v := s.Visits
+	if v == 0 {
+		v = 1
+	}
+	if v == 1 {
+		return s.MAP, nil
+	}
+	return s.MAP.Scale(v * s.MAP.Mean())
+}
+
+// NetworkModel is a closed tandem network of K MAP-service stations plus
+// a delay station (user think time), populated by a fixed number of
+// customers. It generalizes the paper's two-station model (Fig. 9) to
+// any number of tiers; Model{Front, DB} is the K=2 special case.
+type NetworkModel struct {
+	// Stations are the queueing stations in visit order.
+	Stations []Station
+	// ThinkTime is the mean think time Z of the delay station.
+	ThinkTime float64
+	// Customers is the number of emulated browsers N.
+	Customers int
+	// PhasesRunWhileIdle selects the idle-station semantics (see
+	// Model.PhasesRunWhileIdle).
+	PhasesRunWhileIdle bool
+}
+
+// Validate checks the network parameters.
+func (m NetworkModel) Validate() error {
+	if len(m.Stations) == 0 {
+		return errors.New("mapqn: network needs at least one station")
+	}
+	for i, s := range m.Stations {
+		if s.MAP == nil {
+			return fmt.Errorf("mapqn: station %d (%s) has no MAP", i, s.Name)
+		}
+		if s.Visits < 0 {
+			return fmt.Errorf("mapqn: station %d (%s) visit ratio %v must be >= 0", i, s.Name, s.Visits)
+		}
+	}
+	if m.ThinkTime < 0 {
+		return fmt.Errorf("mapqn: think time %v must be >= 0", m.ThinkTime)
+	}
+	if m.Customers < 1 {
+		return fmt.Errorf("mapqn: customers %d must be >= 1", m.Customers)
+	}
+	return nil
+}
+
+// StationNames returns the station labels, substituting "station<i>" for
+// blanks.
+func (m NetworkModel) StationNames() []string {
+	names := make([]string, len(m.Stations))
+	for i, s := range m.Stations {
+		names[i] = s.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("station%d", i)
+		}
+	}
+	return names
+}
+
+// NetworkMetrics carries the exact stationary performance measures of an
+// N-station network, with one slice entry per station.
+type NetworkMetrics struct {
+	// Throughput is the system throughput X (completions of full
+	// think-to-think cycles per second).
+	Throughput float64
+	// ResponseTime is the mean end-to-end response time N/X - Z.
+	ResponseTime float64
+	// Utils[i] is the busy probability of station i.
+	Utils []float64
+	// QueueLens[i] is the mean queue length at station i (in service or
+	// waiting).
+	QueueLens []float64
+	// QueueDists[i][k] = P(k jobs at station i), the stationary
+	// queue-length distribution exposing burstiness-induced heavy tails.
+	QueueDists [][]float64
+	// Thinking is the mean number of customers in think state.
+	Thinking float64
+	// StationNames labels the slices above.
+	StationNames []string
+	// States is the size of the underlying CTMC.
+	States int
+	// SolverIterations and SolverMethod report how the chain was solved.
+	SolverIterations int
+	SolverMethod     string
+}
+
+// AsTwoTier converts K=2 network metrics to the legacy two-station
+// Metrics layout.
+func (nm NetworkMetrics) AsTwoTier() (Metrics, error) {
+	if len(nm.Utils) != 2 {
+		return Metrics{}, fmt.Errorf("mapqn: AsTwoTier on %d-station metrics", len(nm.Utils))
+	}
+	return Metrics{
+		Throughput:       nm.Throughput,
+		ResponseTime:     nm.ResponseTime,
+		UtilFront:        nm.Utils[0],
+		UtilDB:           nm.Utils[1],
+		QueueFront:       nm.QueueLens[0],
+		QueueDB:          nm.QueueLens[1],
+		Thinking:         nm.Thinking,
+		QueueDistFront:   nm.QueueDists[0],
+		QueueDistDB:      nm.QueueDists[1],
+		States:           nm.States,
+		SolverIterations: nm.SolverIterations,
+		SolverMethod:     nm.SolverMethod,
+	}, nil
+}
+
+// stateSpaceN enumerates the CTMC states of a K-station network:
+// (n_0..n_{K-1}, j_0..j_{K-1}) with sum n_i <= N and j_i a phase of
+// station i's MAP. Population vectors are ranked in lexicographic order
+// via the combinatorial number system; phases are a mixed-radix suffix.
+// For K=2 this reproduces the legacy stateSpace layout exactly.
+type stateSpaceN struct {
+	n         int   // population
+	phases    []int // phase count per station
+	phaseProd int
+	// binom[a][b] = C(a, b) for a <= n+K, b <= K.
+	binom [][]int
+	comps int // number of population vectors: C(n+K, K)
+}
+
+func newStateSpaceN(n int, phases []int) *stateSpaceN {
+	k := len(phases)
+	s := &stateSpaceN{n: n, phases: phases, phaseProd: 1}
+	for _, m := range phases {
+		s.phaseProd *= m
+	}
+	s.binom = make([][]int, n+k+1)
+	for a := 0; a <= n+k; a++ {
+		s.binom[a] = make([]int, k+1)
+		s.binom[a][0] = 1
+		for b := 1; b <= k && b <= a; b++ {
+			if a == b {
+				s.binom[a][b] = 1
+			} else {
+				s.binom[a][b] = s.binom[a-1][b-1] + s.binom[a-1][b]
+			}
+		}
+	}
+	s.comps = s.binom[n+k][k]
+	return s
+}
+
+// size returns the total number of CTMC states.
+func (s *stateSpaceN) size() int { return s.comps * s.phaseProd }
+
+// compRank ranks a population vector lexicographically among all vectors
+// with sum <= n: it counts, per position, the vectors sharing the prefix
+// whose entry at that position is smaller. With rem budget left and p
+// positions remaining, each candidate value v contributes
+// C(rem-v+p-1, p-1) completions.
+func (s *stateSpaceN) compRank(pop []int) int {
+	k := len(s.phases)
+	rank := 0
+	rem := s.n
+	for i := 0; i < k; i++ {
+		for v := 0; v < pop[i]; v++ {
+			rank += s.binom[rem-v+k-i-1][k-i-1]
+		}
+		rem -= pop[i]
+	}
+	return rank
+}
+
+// compUnrank inverts compRank into pop (len K).
+func (s *stateSpaceN) compUnrank(rank int, pop []int) {
+	k := len(s.phases)
+	rem := s.n
+	for i := 0; i < k; i++ {
+		v := 0
+		for {
+			c := s.binom[rem-v+k-i-1][k-i-1]
+			if rank < c {
+				break
+			}
+			rank -= c
+			v++
+		}
+		pop[i] = v
+		rem -= v
+	}
+}
+
+// index maps (pop, phase) to a state index. phase is the mixed-radix
+// phase combination with station 0 most significant.
+func (s *stateSpaceN) index(pop []int, phase int) int {
+	return s.compRank(pop)*s.phaseProd + phase
+}
+
+// decode maps a state index back to (pop, phases-per-station).
+func (s *stateSpaceN) decode(idx int, pop, phase []int) {
+	p := idx % s.phaseProd
+	s.compUnrank(idx/s.phaseProd, pop)
+	for i := len(s.phases) - 1; i >= 0; i-- {
+		phase[i] = p % s.phases[i]
+		p /= s.phases[i]
+	}
+}
+
+// maxStates bounds the CTMC size SolveNetwork will attempt; beyond it the
+// memory for the sparse generator alone is prohibitive and the caller
+// should fall back to NetworkBounds.
+const maxStates = 50_000_000
+
+// SolveNetwork builds and solves the K-station CTMC exactly, returning
+// stationary per-station metrics.
+func SolveNetwork(m NetworkModel, opts ctmc.Options) (NetworkMetrics, error) {
+	if err := m.Validate(); err != nil {
+		return NetworkMetrics{}, err
+	}
+	maps := make([]*markov.MAP, len(m.Stations))
+	for i, st := range m.Stations {
+		em, err := st.effectiveMAP()
+		if err != nil {
+			return NetworkMetrics{}, fmt.Errorf("mapqn: station %d (%s): %w", i, st.Name, err)
+		}
+		maps[i] = em
+	}
+	gen, space, err := buildGeneratorN(m, maps)
+	if err != nil {
+		return NetworkMetrics{}, err
+	}
+	res, err := ctmc.SteadyState(gen, opts)
+	if err != nil {
+		return NetworkMetrics{}, fmt.Errorf("mapqn: steady-state solve failed: %w", err)
+	}
+	return collectMetricsN(m, maps, space, res)
+}
+
+// buildGeneratorN assembles the sparse CTMC generator of the K-station
+// network.
+func buildGeneratorN(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpaceN, error) {
+	k := len(maps)
+	n := m.Customers
+	phases := make([]int, k)
+	for i, mp := range maps {
+		phases[i] = mp.Order()
+	}
+	space := newStateSpaceN(n, phases)
+	if space.size() > maxStates || space.size() <= 0 {
+		return nil, nil, fmt.Errorf("mapqn: state space of %d stations at N=%d has %d states (limit %d); use NetworkBounds",
+			k, n, space.size(), maxStates)
+	}
+	thinkRate := 0.0
+	if m.ThinkTime > 0 {
+		thinkRate = 1 / m.ThinkTime
+	}
+	// phaseStride[i] is the index step of advancing station i's phase.
+	phaseStride := make([]int, k)
+	stride := 1
+	for i := k - 1; i >= 0; i-- {
+		phaseStride[i] = stride
+		stride *= phases[i]
+	}
+
+	// Estimated non-zeros: think + per-station (D0+D1) rows per state.
+	est := 2
+	for _, p := range phases {
+		est += 2 * p
+	}
+	entries := make([]matrix.Triplet, 0, space.size()*est)
+	add := func(from, to int, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		entries = append(entries, matrix.Triplet{Row: from, Col: to, Val: rate})
+		entries = append(entries, matrix.Triplet{Row: from, Col: from, Val: -rate})
+	}
+
+	pop := make([]int, k)
+	phase := make([]int, k)
+	for idx := 0; idx < space.size(); idx++ {
+		space.decode(idx, pop, phase)
+		total := 0
+		for _, v := range pop {
+			total += v
+		}
+		thinking := n - total
+		// Think completions: a customer submits a request to station 0.
+		if thinking > 0 {
+			pop[0]++
+			to := space.index(pop, idx%space.phaseProd)
+			pop[0]--
+			if thinkRate > 0 {
+				add(idx, to, float64(thinking)*thinkRate)
+			} else {
+				// Z = 0: think stage is instantaneous; model as a very
+				// fast transition to keep the chain well-formed (callers
+				// should use Z > 0).
+				add(idx, to, float64(thinking)*1e9)
+			}
+		}
+		for i := 0; i < k; i++ {
+			mp := maps[i]
+			j := phase[i]
+			if pop[i] > 0 {
+				// Completion: job moves to station i+1, or back to the
+				// think pool from the last station.
+				pop[i]--
+				if i+1 < k {
+					pop[i+1]++
+				}
+				base := space.compRank(pop) * space.phaseProd
+				if i+1 < k {
+					pop[i+1]--
+				}
+				pop[i]++
+				phaseBase := idx%space.phaseProd - j*phaseStride[i]
+				for t := 0; t < phases[i]; t++ {
+					add(idx, base+phaseBase+t*phaseStride[i], mp.D1.At(j, t))
+					// Phase change without completion.
+					if t != j {
+						add(idx, idx+(t-j)*phaseStride[i], mp.D0.At(j, t))
+					}
+				}
+			} else if m.PhasesRunWhileIdle {
+				// Idle station with a free-running environment: the
+				// modulating chain Q = D0+D1 evolves without completions.
+				for t := 0; t < phases[i]; t++ {
+					if t != j {
+						add(idx, idx+(t-j)*phaseStride[i], mp.D0.At(j, t)+mp.D1.At(j, t))
+					}
+				}
+			}
+		}
+	}
+	return matrix.NewCSR(space.size(), entries), space, nil
+}
+
+// collectMetricsN computes throughput, utilizations and queue lengths
+// from the stationary vector.
+func collectMetricsN(m NetworkModel, maps []*markov.MAP, space *stateSpaceN, res ctmc.Result) (NetworkMetrics, error) {
+	k := len(maps)
+	last := k - 1
+	exit := maps[last].D1.RowSums() // completion rate per last-station phase
+
+	utils := make([]float64, k)
+	qlens := make([]float64, k)
+	dists := make([][]float64, k)
+	for i := range dists {
+		dists[i] = make([]float64, m.Customers+1)
+	}
+	var x, think float64
+	pop := make([]int, k)
+	phase := make([]int, k)
+	for idx, p := range res.Pi {
+		if p == 0 {
+			continue
+		}
+		space.decode(idx, pop, phase)
+		total := 0
+		for i := 0; i < k; i++ {
+			dists[i][pop[i]] += p
+			if pop[i] > 0 {
+				utils[i] += p
+				qlens[i] += p * float64(pop[i])
+			}
+			total += pop[i]
+		}
+		if pop[last] > 0 {
+			x += p * exit[phase[last]]
+		}
+		think += p * float64(m.Customers-total)
+	}
+	if x <= 0 {
+		return NetworkMetrics{}, errors.New("mapqn: zero throughput (degenerate model)")
+	}
+	return NetworkMetrics{
+		Throughput:       x,
+		ResponseTime:     float64(m.Customers)/x - m.ThinkTime,
+		Utils:            utils,
+		QueueLens:        qlens,
+		QueueDists:       dists,
+		Thinking:         think,
+		StationNames:     m.StationNames(),
+		States:           space.size(),
+		SolverIterations: res.Iterations,
+		SolverMethod:     res.Method,
+	}, nil
+}
+
+// SolveNetworkSweep solves the network at each population level; each
+// population is an independent CTMC.
+func SolveNetworkSweep(stations []Station, thinkTime float64, customers []int, opts ctmc.Options) ([]NetworkMetrics, error) {
+	out := make([]NetworkMetrics, 0, len(customers))
+	for _, n := range customers {
+		m := NetworkModel{Stations: stations, ThinkTime: thinkTime, Customers: n}
+		met, err := SolveNetwork(m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mapqn: population %d: %w", n, err)
+		}
+		out = append(out, met)
+	}
+	return out, nil
+}

@@ -66,6 +66,17 @@ func Model(frontDemand, dbDemand, z float64) Network {
 	}
 }
 
+// ModelN builds the N-tier generalization of Model: K queueing stations
+// in series (one per tier) closed by N customers with mean think time z.
+// names may be nil, or one label per demand.
+func ModelN(demands []float64, names []string, z float64) Network {
+	return Network{
+		Demands:   append([]float64(nil), demands...),
+		ThinkTime: z,
+		Names:     append([]string(nil), names...),
+	}
+}
+
 // Result carries the MVA performance metrics at a population level.
 type Result struct {
 	Customers    int

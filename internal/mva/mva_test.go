@@ -499,3 +499,40 @@ func TestSolveMultiServerValidation(t *testing.T) {
 		t.Error("expected error for negative think time")
 	}
 }
+
+func TestModelNGeneralizesModel(t *testing.T) {
+	// K=2 via ModelN must be the same network Model builds.
+	two := Model(0.004, 0.007, 0.5)
+	n2 := ModelN([]float64{0.004, 0.007}, []string{"front", "db"}, 0.5)
+	for _, pop := range []int{1, 10, 80} {
+		a, err := Solve(two, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(n2, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Throughput != b.Throughput || a.ResponseTime != b.ResponseTime {
+			t.Errorf("pop %d: ModelN result differs from Model", pop)
+		}
+	}
+	// ModelN must defensively copy its inputs.
+	demands := []float64{0.1, 0.2, 0.3}
+	net := ModelN(demands, []string{"a", "b", "c"}, 1)
+	demands[0] = 99
+	if net.Demands[0] != 0.1 {
+		t.Error("ModelN aliased the caller's demand slice")
+	}
+	// A three-station chain: bottleneck law X <= 1/max demand.
+	res, err := Solve(ModelN([]float64{0.004, 0.006, 0.003}, nil, 0.5), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput > 1/0.006+1e-9 {
+		t.Errorf("K=3 X = %v exceeds bottleneck bound", res.Throughput)
+	}
+	if len(res.QueueLengths) != 3 || len(res.Utilizations) != 3 {
+		t.Errorf("K=3 result slices have wrong length: %+v", res)
+	}
+}
