@@ -1,0 +1,31 @@
+# Development targets. `make check` is the local tier-1 gate (CI's test
+# job runs the same steps with `go test -short`); `make bench` maintains
+# the solver performance trajectory in BENCH_solver.json so optimization
+# PRs have a baseline to compare against.
+
+GO ?= go
+
+.PHONY: check build test vet bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3 solves,
+# the warm/cold population sweep, and the generator-assembly microbench —
+# and archives the numbers (ns/op, states, nnz, allocs, throughput) as
+# JSON. -benchtime=1x because each solve takes seconds and a single
+# iteration is already deterministic enough for a trajectory.
+bench:
+	$(GO) test -run=NONE -bench='SolveThreeTier|Solver' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='GeneratorAssembly' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
+	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > BENCH_solver.json
+	rm -f .bench_root.txt .bench_mapqn.txt
+	cat BENCH_solver.json

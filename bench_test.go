@@ -72,6 +72,64 @@ func BenchmarkSolveThreeTier(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverSweep tracks the cost of a population sweep of the
+// K=3 CTMC — the shape of every what-if curve in the paper (Figs. 4,
+// 10-12): warm runs the production warm-started path, cold re-solves
+// every population from scratch. The warm/cold ratio is the sweep
+// speedup that capacity-planning callers get for free.
+func BenchmarkSolverSweep(b *testing.B) {
+	front, err := FitMAP2(0.004, 40, 0.02, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := FitMAP2(0.006, 120, 0.04, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := FitMAP2(0.003, 25, 0.01, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stations := []Station{
+		{Name: "front", MAP: front.MAP},
+		{Name: "app", MAP: app.MAP},
+		{Name: "db", MAP: db.MAP},
+	}
+	populations := []int{5, 10, 15, 20, 25, 30}
+	opts := SolverOptions{Tol: 1e-8}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mets, err := SolveMAPNetworkSweepN(stations, 0.5, populations, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(mets[len(mets)-1].Throughput, "X@30")
+				b.ReportMetric(float64(mets[len(mets)-1].States), "states@30")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var last MAPNetworkMetricsN
+			for _, n := range populations {
+				met, err := SolveMAPNetworkN(MAPNetworkModelN{
+					Stations:  stations,
+					ThinkTime: 0.5,
+					Customers: n,
+				}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = met
+			}
+			if i == 0 {
+				b.ReportMetric(last.Throughput, "X@30")
+			}
+		}
+	})
+}
+
 // benchScale is the measurement scale used by the benchmark harness:
 // long enough for stable estimates, short enough that the full suite
 // completes in minutes.

@@ -220,6 +220,17 @@ func SolveMAPNetworkN(m MAPNetworkModelN, opts SolverOptions) (MAPNetworkMetrics
 	return mapqn.SolveNetwork(m, opts)
 }
 
+// SolveMAPNetworkSweepN solves a K-station MAP network at each
+// population in customers as one warm-started sweep: every solve after
+// the first is seeded with the previous population's stationary vector
+// embedded into the larger state space, which typically converges in a
+// fraction of the cold-start iterations while meeting the same residual
+// tolerance. Plan predictions (NewPlanN(...).Predict) use this path
+// automatically.
+func SolveMAPNetworkSweepN(stations []Station, thinkTime float64, customers []int, opts SolverOptions) ([]MAPNetworkMetricsN, error) {
+	return mapqn.SolveNetworkSweep(stations, thinkTime, customers, opts)
+}
+
 // SolveMVA solves the classical MVA baseline at population n.
 func SolveMVA(frontDemand, dbDemand, thinkTime float64, n int) (MVAResult, error) {
 	return mva.Solve(mva.Model(frontDemand, dbDemand, thinkTime), n)

@@ -122,8 +122,13 @@ func TestFacadeThreeTierEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if met.Throughput != preds[1].MAP.Throughput {
-		t.Errorf("facade network solve X = %v, plan predict X = %v", met.Throughput, preds[1].MAP.Throughput)
+	// Plan predictions run as a warm-started sweep, so the iterative
+	// solver stops at a (slightly) different point inside the same
+	// residual-tolerance ball as this cold solve: compare within solver
+	// accuracy, not bitwise.
+	if relDiff := math.Abs(met.Throughput-preds[1].MAP.Throughput) / met.Throughput; relDiff > 1e-4 {
+		t.Errorf("facade network solve X = %v, plan predict X = %v (rel diff %v)",
+			met.Throughput, preds[1].MAP.Throughput, relDiff)
 	}
 
 	// N-tier bounds bracket the exact solution and reach large N.

@@ -144,31 +144,30 @@ type PredictionN struct {
 	MVA mva.Result
 }
 
-// Predict evaluates both models at each population level.
+// Predict evaluates both models at each population level. The MAP-model
+// evaluations run as one warm-started sweep: each population's CTMC
+// solve is seeded with the previous population's stationary vector.
 func (p *PlanN) Predict(populations []int) ([]PredictionN, error) {
 	if len(populations) == 0 {
 		return nil, errors.New("core: no populations requested")
 	}
-	baseline := p.Baseline()
-	stations := p.Stations()
-	out := make([]PredictionN, 0, len(populations))
 	for _, n := range populations {
 		if n < 1 {
 			return nil, fmt.Errorf("core: population %d must be >= 1", n)
 		}
-		met, err := mapqn.SolveNetwork(mapqn.NetworkModel{
-			Stations:  stations,
-			ThinkTime: p.ThinkTime,
-			Customers: n,
-		}, p.opts.Solver)
-		if err != nil {
-			return nil, fmt.Errorf("core: MAP model at %d EBs: %w", n, err)
-		}
+	}
+	baseline := p.Baseline()
+	mets, err := mapqn.SolveNetworkSweep(p.Stations(), p.ThinkTime, populations, p.opts.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("core: MAP model: %w", err)
+	}
+	out := make([]PredictionN, 0, len(populations))
+	for i, n := range populations {
 		base, err := mva.Solve(baseline, n)
 		if err != nil {
 			return nil, fmt.Errorf("core: MVA at %d EBs: %w", n, err)
 		}
-		out = append(out, PredictionN{EBs: n, MAP: met, MVA: base})
+		out = append(out, PredictionN{EBs: n, MAP: mets[i], MVA: base})
 	}
 	return out, nil
 }

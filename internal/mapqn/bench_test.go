@@ -1,0 +1,64 @@
+package mapqn
+
+import (
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// benchModel builds the K=3 benchmark fixture outside the timed loop.
+func benchModel(b *testing.B, customers int) (NetworkModel, []*markov.MAP) {
+	b.Helper()
+	fits := make([]*markov.MAP, 0, 3)
+	for _, p := range [][3]float64{{0.004, 40, 0.02}, {0.006, 120, 0.04}, {0.003, 25, 0.01}} {
+		fit, err := markov.FitThreePoint(p[0], p[1], p[2], markov.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fits = append(fits, fit.MAP)
+	}
+	m := NetworkModel{
+		Stations: []Station{
+			{Name: "front", MAP: fits[0]},
+			{Name: "app", MAP: fits[1]},
+			{Name: "db", MAP: fits[2]},
+		},
+		ThinkTime: 0.5,
+		Customers: customers,
+	}
+	return m, fits
+}
+
+// BenchmarkGeneratorAssembly isolates generator build cost from solver
+// iterations: the direct in-order CSR assembly against the
+// triplet-append-and-sort reference, on the same K=3, N=30 chain the
+// solver benchmarks use (43,648 states).
+func BenchmarkGeneratorAssembly(b *testing.B) {
+	m, maps := benchModel(b, 30)
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gen, _, err := buildGeneratorN(m, maps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(gen.N), "states")
+				b.ReportMetric(float64(gen.NNZ()), "nnz")
+			}
+		}
+	})
+	b.Run("triplet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gen, _, err := buildGeneratorNTriplet(m, maps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(gen.N), "states")
+				b.ReportMetric(float64(gen.NNZ()), "nnz")
+			}
+		}
+	})
+}

@@ -313,16 +313,24 @@ func collectMetrics(m Model, space *stateSpace, res ctmc.Result) (Metrics, error
 	}, nil
 }
 
-// SolveSweep solves the model for each population in customers,
-// reusing nothing across solves (each population is an independent CTMC).
-// It is the model-side analogue of an EB sweep on the testbed.
+// SolveSweep solves the model for each population in customers. It is
+// the model-side analogue of an EB sweep on the testbed, and — like
+// SolveNetworkSweep, to which it delegates — warm-starts each population
+// from the previous stationary vector.
 func SolveSweep(front, db *markov.MAP, thinkTime float64, customers []int, opts ctmc.Options) ([]Metrics, error) {
-	out := make([]Metrics, 0, len(customers))
-	for _, n := range customers {
-		m := Model{Front: front, DB: db, ThinkTime: thinkTime, Customers: n}
-		met, err := Solve(m, opts)
+	stations := []Station{
+		{Name: "front", MAP: front},
+		{Name: "db", MAP: db},
+	}
+	nets, err := SolveNetworkSweep(stations, thinkTime, customers, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Metrics, 0, len(nets))
+	for _, nm := range nets {
+		met, err := nm.AsTwoTier()
 		if err != nil {
-			return nil, fmt.Errorf("mapqn: population %d: %w", n, err)
+			return nil, err
 		}
 		out = append(out, met)
 	}

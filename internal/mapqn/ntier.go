@@ -3,6 +3,7 @@ package mapqn
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/ctmc"
 	"repro/internal/markov"
@@ -158,11 +159,32 @@ type stateSpaceN struct {
 	comps int // number of population vectors: C(n+K, K)
 }
 
+// satAdd and satMul are saturating int operations: combinatorial counts
+// of deep chains overflow int well before the maxStates guard can see
+// them, so the table builders clamp at math.MaxInt instead of wrapping
+// and sizeChecked reports the overflow.
+func satAdd(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
 func newStateSpaceN(n int, phases []int) *stateSpaceN {
 	k := len(phases)
 	s := &stateSpaceN{n: n, phases: phases, phaseProd: 1}
 	for _, m := range phases {
-		s.phaseProd *= m
+		s.phaseProd = satMul(s.phaseProd, m)
 	}
 	s.binom = make([][]int, n+k+1)
 	for a := 0; a <= n+k; a++ {
@@ -172,7 +194,7 @@ func newStateSpaceN(n int, phases []int) *stateSpaceN {
 			if a == b {
 				s.binom[a][b] = 1
 			} else {
-				s.binom[a][b] = s.binom[a-1][b-1] + s.binom[a-1][b]
+				s.binom[a][b] = satAdd(s.binom[a-1][b-1], s.binom[a-1][b])
 			}
 		}
 	}
@@ -180,8 +202,22 @@ func newStateSpaceN(n int, phases []int) *stateSpaceN {
 	return s
 }
 
-// size returns the total number of CTMC states.
+// size returns the total number of CTMC states. Callers sizing real
+// chains must use sizeChecked, which detects arithmetic overflow.
 func (s *stateSpaceN) size() int { return s.comps * s.phaseProd }
+
+// sizeChecked returns the total number of CTMC states, or an error when
+// the count does not fit in an int (the composition count and the phase
+// product saturate at math.MaxInt, and their product is checked too).
+func (s *stateSpaceN) sizeChecked() (int, error) {
+	if s.comps <= 0 || s.phaseProd <= 0 || s.comps == math.MaxInt || s.phaseProd == math.MaxInt {
+		return 0, errors.New("mapqn: state space size overflows int")
+	}
+	if s.comps > math.MaxInt/s.phaseProd {
+		return 0, errors.New("mapqn: state space size overflows int")
+	}
+	return s.comps * s.phaseProd, nil
+}
 
 // compRank ranks a population vector lexicographically among all vectors
 // with sum <= n: it counts, per position, the vectors sharing the prefix
@@ -220,6 +256,35 @@ func (s *stateSpaceN) compUnrank(rank int, pop []int) {
 	}
 }
 
+// nextComposition advances pop to the next population vector in
+// compRank order (lexicographic, last station varying fastest),
+// returning false once pop is the last vector. Walking the compositions
+// this way costs O(K) per step — the generator assembly uses it instead
+// of a compUnrank per state.
+func (s *stateSpaceN) nextComposition(pop []int) bool {
+	k := len(s.phases)
+	total := 0
+	for _, v := range pop {
+		total += v
+	}
+	if total < s.n {
+		pop[k-1]++
+		return true
+	}
+	// Budget exhausted: clear the rightmost non-zero entry and carry one
+	// unit into the position to its left.
+	j := k - 1
+	for j >= 0 && pop[j] == 0 {
+		j--
+	}
+	if j <= 0 {
+		return false
+	}
+	pop[j] = 0
+	pop[j-1]++
+	return true
+}
+
 // index maps (pop, phase) to a state index. phase is the mixed-radix
 // phase combination with station 0 most significant.
 func (s *stateSpaceN) index(pop []int, phase int) int {
@@ -244,30 +309,106 @@ const maxStates = 50_000_000
 // SolveNetwork builds and solves the K-station CTMC exactly, returning
 // stationary per-station metrics.
 func SolveNetwork(m NetworkModel, opts ctmc.Options) (NetworkMetrics, error) {
+	met, _, err := solveNetwork(m, opts, nil)
+	return met, err
+}
+
+// networkSolution retains what a warm-started sweep needs from one
+// population's solve: the state space and the stationary vector.
+type networkSolution struct {
+	space *stateSpaceN
+	pi    []float64
+}
+
+// solveNetwork is the full solver: when warm is non-nil and compatible
+// (same station phases), its stationary vector is embedded into the new
+// population's state space and seeds the iterative solver.
+func solveNetwork(m NetworkModel, opts ctmc.Options, warm *networkSolution) (NetworkMetrics, *networkSolution, error) {
 	if err := m.Validate(); err != nil {
-		return NetworkMetrics{}, err
+		return NetworkMetrics{}, nil, err
 	}
 	maps := make([]*markov.MAP, len(m.Stations))
 	for i, st := range m.Stations {
 		em, err := st.effectiveMAP()
 		if err != nil {
-			return NetworkMetrics{}, fmt.Errorf("mapqn: station %d (%s): %w", i, st.Name, err)
+			return NetworkMetrics{}, nil, fmt.Errorf("mapqn: station %d (%s): %w", i, st.Name, err)
 		}
 		maps[i] = em
 	}
 	gen, space, err := buildGeneratorN(m, maps)
 	if err != nil {
-		return NetworkMetrics{}, err
+		return NetworkMetrics{}, nil, err
+	}
+	if warm != nil && warm.space != nil {
+		if init := embedPi(warm.space, space, warm.pi); init != nil {
+			opts.Initial = init
+		}
 	}
 	res, err := ctmc.SteadyState(gen, opts)
 	if err != nil {
-		return NetworkMetrics{}, fmt.Errorf("mapqn: steady-state solve failed: %w", err)
+		return NetworkMetrics{}, nil, fmt.Errorf("mapqn: steady-state solve failed: %w", err)
 	}
-	return collectMetricsN(m, maps, space, res)
+	met, err := collectMetricsN(m, maps, space, res)
+	if err != nil {
+		return NetworkMetrics{}, nil, err
+	}
+	return met, &networkSolution{space: space, pi: res.Pi}, nil
+}
+
+// embedPi maps a stationary vector between the state spaces of two
+// populations of the same network (identical station phase counts):
+// state (pop, phase) keeps its mass at the destination's index for
+// (pop, phase). Growing the population leaves the new states — those
+// with more customers in service — at zero mass; shrinking it drops the
+// now-infeasible states. The result is an unnormalized warm-start guess
+// (ctmc renormalizes); nil means no usable mass survived or the spaces
+// are incompatible.
+func embedPi(from, to *stateSpaceN, pi []float64) []float64 {
+	if len(from.phases) != len(to.phases) || from.phaseProd != to.phaseProd {
+		return nil
+	}
+	for i, p := range from.phases {
+		if to.phases[i] != p {
+			return nil
+		}
+	}
+	if len(pi) != from.size() {
+		return nil
+	}
+	pp := from.phaseProd
+	out := make([]float64, to.size())
+	pop := make([]int, len(from.phases))
+	mass := 0.0
+	for block := 0; ; block++ {
+		total := 0
+		for _, v := range pop {
+			total += v
+		}
+		if total <= to.n {
+			src := pi[block*pp : (block+1)*pp]
+			dst := out[to.compRank(pop)*pp:]
+			for i, v := range src {
+				dst[i] = v
+				mass += v
+			}
+		}
+		if !from.nextComposition(pop) {
+			break
+		}
+	}
+	if mass <= 0 {
+		return nil
+	}
+	return out
 }
 
 // buildGeneratorN assembles the sparse CTMC generator of the K-station
-// network.
+// network by direct in-order CSR construction: states are enumerated in
+// row order (population vectors in compRank order via nextComposition,
+// phases as a mixed-radix odometer), each row's entries are emitted into
+// the CSR arrays with the diagonal accumulated in place, and the handful
+// of per-row columns is insertion-sorted. No triplet buffer, no global
+// sort, no per-state decode.
 func buildGeneratorN(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpaceN, error) {
 	k := len(maps)
 	n := m.Customers
@@ -276,9 +417,10 @@ func buildGeneratorN(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpa
 		phases[i] = mp.Order()
 	}
 	space := newStateSpaceN(n, phases)
-	if space.size() > maxStates || space.size() <= 0 {
-		return nil, nil, fmt.Errorf("mapqn: state space of %d stations at N=%d has %d states (limit %d); use NetworkBounds",
-			k, n, space.size(), maxStates)
+	size, err := space.sizeChecked()
+	if err != nil || size > maxStates {
+		return nil, nil, fmt.Errorf("mapqn: state space of %d stations at N=%d exceeds %d states; use NetworkBounds",
+			k, n, maxStates)
 	}
 	thinkRate := 0.0
 	if m.ThinkTime > 0 {
@@ -291,79 +433,141 @@ func buildGeneratorN(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpa
 		phaseStride[i] = stride
 		stride *= phases[i]
 	}
+	pp := space.phaseProd
 
-	// Estimated non-zeros: think + per-station (D0+D1) rows per state.
+	// Per-state non-zero bound: diagonal + think + per-station D1 row
+	// (phases[i] completions) + D0 off-diagonals (phases[i]-1), which the
+	// free-running idle semantics cannot exceed.
 	est := 2
 	for _, p := range phases {
-		est += 2 * p
+		est += 2*p - 1
 	}
-	entries := make([]matrix.Triplet, 0, space.size()*est)
-	add := func(from, to int, rate float64) {
+	rowPtr := make([]int, size+1)
+	colIdx := make([]int, 0, size*est)
+	vals := make([]float64, 0, size*est)
+
+	// emit appends one off-diagonal entry and folds its rate into diag.
+	diag := 0.0
+	emit := func(col int, rate float64) {
 		if rate <= 0 {
 			return
 		}
-		entries = append(entries, matrix.Triplet{Row: from, Col: to, Val: rate})
-		entries = append(entries, matrix.Triplet{Row: from, Col: from, Val: -rate})
+		colIdx = append(colIdx, col)
+		vals = append(vals, rate)
+		diag -= rate
 	}
 
 	pop := make([]int, k)
-	phase := make([]int, k)
-	for idx := 0; idx < space.size(); idx++ {
-		space.decode(idx, pop, phase)
+	phase := make([]int, k) // mixed-radix digits of ph, station 0 most significant
+	complBase := make([]int, k)
+	row := 0
+	for { // one iteration per population vector, in compRank order
 		total := 0
 		for _, v := range pop {
 			total += v
 		}
-		thinking := n - total
-		// Think completions: a customer submits a request to station 0.
+		thinking := n - total // row == space.compRank(pop)*pp + ph throughout
+
+		// Rank the destination compositions once per population vector;
+		// they are phase-independent.
+		thinkBase := -1
 		if thinking > 0 {
 			pop[0]++
-			to := space.index(pop, idx%space.phaseProd)
+			thinkBase = space.compRank(pop) * pp
 			pop[0]--
-			if thinkRate > 0 {
-				add(idx, to, float64(thinking)*thinkRate)
-			} else {
-				// Z = 0: think stage is instantaneous; model as a very
-				// fast transition to keep the chain well-formed (callers
-				// should use Z > 0).
-				add(idx, to, float64(thinking)*1e9)
-			}
 		}
 		for i := 0; i < k; i++ {
-			mp := maps[i]
-			j := phase[i]
 			if pop[i] > 0 {
-				// Completion: job moves to station i+1, or back to the
-				// think pool from the last station.
 				pop[i]--
 				if i+1 < k {
 					pop[i+1]++
 				}
-				base := space.compRank(pop) * space.phaseProd
+				complBase[i] = space.compRank(pop) * pp
 				if i+1 < k {
 					pop[i+1]--
 				}
 				pop[i]++
-				phaseBase := idx%space.phaseProd - j*phaseStride[i]
-				for t := 0; t < phases[i]; t++ {
-					add(idx, base+phaseBase+t*phaseStride[i], mp.D1.At(j, t))
-					// Phase change without completion.
-					if t != j {
-						add(idx, idx+(t-j)*phaseStride[i], mp.D0.At(j, t))
-					}
+			}
+		}
+
+		for i := range phase {
+			phase[i] = 0
+		}
+		for ph := 0; ph < pp; ph++ {
+			start := len(colIdx)
+			diag = 0
+			// Think completions: a customer submits a request to
+			// station 0. Z = 0 models the instantaneous think stage as a
+			// very fast transition to keep the chain well-formed
+			// (callers should use Z > 0).
+			if thinkBase >= 0 {
+				rate := float64(thinking) * thinkRate
+				if thinkRate == 0 {
+					rate = float64(thinking) * 1e9
 				}
-			} else if m.PhasesRunWhileIdle {
-				// Idle station with a free-running environment: the
-				// modulating chain Q = D0+D1 evolves without completions.
-				for t := 0; t < phases[i]; t++ {
-					if t != j {
-						add(idx, idx+(t-j)*phaseStride[i], mp.D0.At(j, t)+mp.D1.At(j, t))
+				emit(thinkBase+ph, rate)
+			}
+			for i := 0; i < k; i++ {
+				mp := maps[i]
+				j := phase[i]
+				if pop[i] > 0 {
+					// Completion: job moves to station i+1, or back to
+					// the think pool from the last station; phase change
+					// without completion stays in this block.
+					phaseBase := ph - j*phaseStride[i]
+					for t := 0; t < phases[i]; t++ {
+						emit(complBase[i]+phaseBase+t*phaseStride[i], mp.D1.At(j, t))
+						if t != j {
+							emit(row+(t-j)*phaseStride[i], mp.D0.At(j, t))
+						}
+					}
+				} else if m.PhasesRunWhileIdle {
+					// Idle station with a free-running environment: the
+					// modulating chain Q = D0+D1 evolves without
+					// completions.
+					for t := 0; t < phases[i]; t++ {
+						if t != j {
+							emit(row+(t-j)*phaseStride[i], mp.D0.At(j, t)+mp.D1.At(j, t))
+						}
 					}
 				}
 			}
+			if diag != 0 {
+				colIdx = append(colIdx, row)
+				vals = append(vals, diag)
+			}
+			// Insertion-sort this row's few entries by column so the CSR
+			// is canonical (NewCSR-equivalent).
+			for a := start + 1; a < len(colIdx); a++ {
+				c, v := colIdx[a], vals[a]
+				b := a
+				for b > start && colIdx[b-1] > c {
+					colIdx[b] = colIdx[b-1]
+					vals[b] = vals[b-1]
+					b--
+				}
+				colIdx[b] = c
+				vals[b] = v
+			}
+			rowPtr[row+1] = len(colIdx)
+			row++
+			// Advance the phase odometer (station k-1 fastest).
+			for i := k - 1; i >= 0; i-- {
+				phase[i]++
+				if phase[i] < phases[i] {
+					break
+				}
+				phase[i] = 0
+			}
+		}
+		if !space.nextComposition(pop) {
+			break
 		}
 	}
-	return matrix.NewCSR(space.size(), entries), space, nil
+	if row != size {
+		panic(fmt.Sprintf("mapqn: assembled %d rows, state space has %d", row, size))
+	}
+	return matrix.NewCSRFromRows(size, rowPtr, colIdx, vals), space, nil
 }
 
 // collectMetricsN computes throughput, utilizations and queue lengths
@@ -418,17 +622,25 @@ func collectMetricsN(m NetworkModel, maps []*markov.MAP, space *stateSpaceN, res
 	}, nil
 }
 
-// SolveNetworkSweep solves the network at each population level; each
-// population is an independent CTMC.
+// SolveNetworkSweep solves the network at each population level. Each
+// population is its own CTMC, but consecutive populations are solved
+// warm-started: the previous stationary vector is embedded into the next
+// population's state space (the extra states start at zero mass) and
+// seeds the iterative solver, which typically converges in a fraction of
+// the cold-start iterations. Convergence is still checked against the
+// same residual tolerance, so warm-started results match cold-started
+// ones to within solver tolerance.
 func SolveNetworkSweep(stations []Station, thinkTime float64, customers []int, opts ctmc.Options) ([]NetworkMetrics, error) {
 	out := make([]NetworkMetrics, 0, len(customers))
+	var prev *networkSolution
 	for _, n := range customers {
 		m := NetworkModel{Stations: stations, ThinkTime: thinkTime, Customers: n}
-		met, err := SolveNetwork(m, opts)
+		met, sol, err := solveNetwork(m, opts, prev)
 		if err != nil {
 			return nil, fmt.Errorf("mapqn: population %d: %w", n, err)
 		}
 		out = append(out, met)
+		prev = sol
 	}
 	return out, nil
 }

@@ -1,0 +1,174 @@
+package matrix
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randomSparse builds an n-by-n CSR with the given density and
+// normally-distributed values (plus a full diagonal, the shape of a CTMC
+// generator).
+func randomSparse(rng *rand.Rand, n int, density float64) *CSR {
+	var entries []Triplet
+	for i := 0; i < n; i++ {
+		entries = append(entries, Triplet{i, i, -rng.Float64() - 1})
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				entries = append(entries, Triplet{i, j, rng.Float64()})
+			}
+		}
+	}
+	return NewCSR(n, entries)
+}
+
+// forceParallel lowers the parallel cutoff and raises GOMAXPROCS for the
+// duration of a test so the fan-out path runs even on small matrices and
+// single-core machines.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldCutoff := parallelMinNNZ
+	oldProcs := runtime.GOMAXPROCS(4)
+	parallelMinNNZ = 1
+	t.Cleanup(func() {
+		parallelMinNNZ = oldCutoff
+		runtime.GOMAXPROCS(oldProcs)
+	})
+}
+
+// TestParallelSpMVMatchesSequentialBitwise is the determinism contract:
+// the parallel kernels must reproduce the sequential kernels to the last
+// bit — the gather kernel because row outputs are disjoint, the scatter
+// kernel because its parallel path gathers over the transpose, whose
+// rows list the same terms in the same left-to-right association as the
+// sequential scatter's accumulation.
+func TestParallelSpMVMatchesSequentialBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 7, 97, 403} {
+		m := randomSparse(rng, n, 0.07)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		wantMul := make([]float64, n)
+		m.mulVecRange(wantMul, x, 0, n)
+		wantVec := make([]float64, n)
+		m.vecMulRange(wantVec, x, 0, n)
+
+		for _, workers := range []int{2, 3, 5, 16} {
+			gotMul := make([]float64, n)
+			m.mulVecBlocks(gotMul, x, workers)
+			gotVec := make([]float64, n)
+			m.cachedTranspose().mulVecBlocks(gotVec, x, workers)
+			for i := 0; i < n; i++ {
+				if gotMul[i] != wantMul[i] {
+					t.Fatalf("n=%d workers=%d: MulVec[%d] = %v, sequential %v", n, workers, i, gotMul[i], wantMul[i])
+				}
+				if gotVec[i] != wantVec[i] {
+					t.Fatalf("n=%d workers=%d: VecMul[%d] = %v, sequential %v", n, workers, i, gotVec[i], wantVec[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSpMVParallelPathEndToEnd drives the public entry points through the
+// parallel dispatch (cutoff forced down) and checks repeated calls are
+// stable — the cached transpose must not leak state between calls.
+func TestSpMVParallelPathEndToEnd(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(7))
+	n := 150
+	m := randomSparse(rng, n, 0.05)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	m.vecMulRange(want, x, 0, n)
+	for round := 0; round < 3; round++ {
+		got := make([]float64, n)
+		m.VecMulTo(got, x)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: VecMulTo[%d] = %v, want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpmvWorkersCutoff(t *testing.T) {
+	if w := spmvWorkers(parallelMinNNZ - 1); w != 1 {
+		t.Errorf("below cutoff: %d workers, want 1", w)
+	}
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	if w := spmvWorkers(100 * parallelMinNNZ); w < 2 {
+		t.Errorf("large matrix on 8 procs: %d workers, want >= 2", w)
+	}
+	if w := spmvWorkers(100 * parallelMinNNZ); w > maxSpmvWorkers {
+		t.Errorf("workers %d exceed cap %d", w, maxSpmvWorkers)
+	}
+}
+
+// TestCountingSortTranspose checks the O(nnz) transpose against the
+// definition, including that output columns are sorted and the diagonal
+// index survives.
+func TestCountingSortTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomSparse(rng, 60, 0.1)
+	mt := m.Transpose()
+	if mt.NNZ() != m.NNZ() {
+		t.Fatalf("transpose NNZ %d != %d", mt.NNZ(), m.NNZ())
+	}
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			if got := mt.At(c, r); got != m.Vals[k] {
+				t.Fatalf("A^T(%d,%d) = %v, want %v", c, r, got, m.Vals[k])
+			}
+		}
+	}
+	for r := 0; r < mt.N; r++ {
+		for k := mt.RowPtr[r] + 1; k < mt.RowPtr[r+1]; k++ {
+			if mt.ColIdx[k-1] >= mt.ColIdx[k] {
+				t.Fatalf("transpose row %d columns not strictly increasing", r)
+			}
+		}
+		if mt.Diag(r) != m.Diag(r) {
+			t.Fatalf("transpose diag %d = %v, want %v", r, mt.Diag(r), m.Diag(r))
+		}
+	}
+}
+
+// TestNewCSRFromRows checks the no-copy constructor agrees with the
+// triplet path on the same logical matrix.
+func TestNewCSRFromRows(t *testing.T) {
+	viaTriplets := NewCSR(3, []Triplet{
+		{0, 0, -2}, {0, 2, 2}, {1, 1, -1}, {1, 2, 1}, {2, 0, 3}, {2, 2, -3},
+	})
+	direct := NewCSRFromRows(3,
+		[]int{0, 2, 4, 6},
+		[]int{0, 2, 1, 2, 0, 2},
+		[]float64{-2, 2, -1, 1, 3, -3},
+	)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if direct.At(i, j) != viaTriplets.At(i, j) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, direct.At(i, j), viaTriplets.At(i, j))
+			}
+		}
+		if direct.Diag(i) != viaTriplets.Diag(i) {
+			t.Fatalf("Diag(%d) mismatch", i)
+		}
+	}
+}
+
+func TestNewCSRFromRowsPanicsOnInconsistency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for inconsistent arrays")
+		}
+	}()
+	NewCSRFromRows(2, []int{0, 1, 3}, []int{0, 1}, []float64{1, 2})
+}

@@ -3,6 +3,7 @@ package matrix
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Triplet is one (row, col, value) entry used to assemble sparse matrices.
@@ -20,6 +21,11 @@ type CSR struct {
 	Vals     []float64
 	diagIdx  []int // index into Vals of the diagonal entry per row, -1 if absent
 	hasDiags bool
+
+	// transposed caches A^T for the parallel VecMulTo path; valid because
+	// the representation is immutable after construction.
+	transposeOnce sync.Once
+	transposed    *CSR
 }
 
 // NewCSR assembles an n-by-n CSR matrix from triplets. Duplicate
@@ -82,6 +88,30 @@ func (m *CSR) indexDiagonal() {
 	}
 }
 
+// NewCSRFromRows wraps already-assembled CSR arrays without copying or
+// sorting: rowPtr must be monotone with rowPtr[0] == 0 and
+// rowPtr[n] == len(colIdx) == len(vals), and each row's columns must be
+// unique and in [0, n). It is the fast path for builders that emit
+// entries in row order (e.g. the CTMC generator assembly); NewCSR remains
+// the convenient triplet-based constructor for tests and small callers.
+func NewCSRFromRows(n int, rowPtr, colIdx []int, vals []float64) *CSR {
+	if n < 1 {
+		panic(fmt.Sprintf("matrix: CSR dimension %d must be >= 1", n))
+	}
+	if len(rowPtr) != n+1 || rowPtr[0] != 0 || rowPtr[n] != len(colIdx) || len(colIdx) != len(vals) {
+		panic(fmt.Sprintf("matrix: inconsistent CSR arrays: n=%d len(rowPtr)=%d rowPtr[n]=%d len(colIdx)=%d len(vals)=%d",
+			n, len(rowPtr), rowPtr[n], len(colIdx), len(vals)))
+	}
+	for r := 0; r < n; r++ {
+		if rowPtr[r] > rowPtr[r+1] {
+			panic(fmt.Sprintf("matrix: rowPtr not monotone at row %d", r))
+		}
+	}
+	m := &CSR{N: n, RowPtr: rowPtr, ColIdx: colIdx, Vals: vals}
+	m.indexDiagonal()
+	return m
+}
+
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Vals) }
 
@@ -110,12 +140,24 @@ func (m *CSR) MulVec(x []float64) []float64 {
 	return y
 }
 
-// MulVecTo computes y = A*x into the provided slice.
+// MulVecTo computes y = A*x into the provided slice. Large matrices are
+// processed in parallel row blocks (see parallel.go); each y[r] is the
+// same left-to-right sum either way, so the result is bit-identical to
+// the sequential kernel.
 func (m *CSR) MulVecTo(y, x []float64) {
 	if len(x) != m.N || len(y) != m.N {
 		panic(fmt.Sprintf("matrix: MulVec length %d/%d, want %d", len(x), len(y), m.N))
 	}
-	for r := 0; r < m.N; r++ {
+	if workers := spmvWorkers(m.NNZ()); workers > 1 {
+		m.mulVecBlocks(y, x, workers)
+		return
+	}
+	m.mulVecRange(y, x, 0, m.N)
+}
+
+// mulVecRange is the sequential gather kernel over rows [lo, hi).
+func (m *CSR) mulVecRange(y, x []float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		sum := 0.0
 		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
 			sum += m.Vals[k] * x[m.ColIdx[k]]
@@ -125,15 +167,30 @@ func (m *CSR) MulVecTo(y, x []float64) {
 }
 
 // VecMulTo computes y = x*A (x as a row vector) into the provided slice.
-// This is the operation used by probability-vector iteration.
+// This is the operation used by probability-vector iteration. Large
+// matrices run the product as a parallel gather over the cached
+// transpose: row j of A^T lists the terms A[r,j]*x[r] in increasing r,
+// exactly the order and association in which the sequential scatter
+// accumulates y[j], so the parallel path is bit-identical to the
+// sequential kernel.
 func (m *CSR) VecMulTo(y, x []float64) {
 	if len(x) != m.N || len(y) != m.N {
 		panic(fmt.Sprintf("matrix: VecMul length %d/%d, want %d", len(x), len(y), m.N))
 	}
+	if workers := spmvWorkers(m.NNZ()); workers > 1 {
+		m.cachedTranspose().mulVecBlocks(y, x, workers)
+		return
+	}
 	for i := range y {
 		y[i] = 0
 	}
-	for r := 0; r < m.N; r++ {
+	m.vecMulRange(y, x, 0, m.N)
+}
+
+// vecMulRange accumulates the scatter kernel of rows [lo, hi) into y,
+// which the caller must have zeroed.
+func (m *CSR) vecMulRange(y, x []float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		xr := x[r]
 		if xr == 0 {
 			continue
@@ -144,15 +201,35 @@ func (m *CSR) VecMulTo(y, x []float64) {
 	}
 }
 
-// Transpose returns A^T as a new CSR matrix.
+// Transpose returns A^T as a new CSR matrix using a counting sort over
+// the target rows: O(nnz) with no comparison sort. Column indices within
+// each output row come out in increasing order because input rows are
+// scanned in order.
 func (m *CSR) Transpose() *CSR {
-	entries := make([]Triplet, 0, m.NNZ())
+	nnz := m.NNZ()
+	rowPtr := make([]int, m.N+1)
+	for _, c := range m.ColIdx {
+		rowPtr[c+1]++
+	}
+	for r := 0; r < m.N; r++ {
+		rowPtr[r+1] += rowPtr[r]
+	}
+	colIdx := make([]int, nnz)
+	vals := make([]float64, nnz)
+	next := make([]int, m.N)
+	copy(next, rowPtr[:m.N])
 	for r := 0; r < m.N; r++ {
 		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
-			entries = append(entries, Triplet{Row: m.ColIdx[k], Col: r, Val: m.Vals[k]})
+			c := m.ColIdx[k]
+			p := next[c]
+			next[c]++
+			colIdx[p] = r
+			vals[p] = m.Vals[k]
 		}
 	}
-	return NewCSR(m.N, entries)
+	t := &CSR{N: m.N, RowPtr: rowPtr, ColIdx: colIdx, Vals: vals}
+	t.indexDiagonal()
+	return t
 }
 
 // RowSums returns the vector of row sums (for generator sanity checks).
