@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench
+.PHONY: check build test vet race xvalidate bench
 
 check: vet build test
 
@@ -17,6 +17,20 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race exercises the goroutine-parallel paths (replica-parallel TPC-W
+# runs, parallel SpMV) under the race detector; -short skips the
+# Short-guarded heavy tests (K=3 cross-validation, large solver cases)
+# whose numeric kernels are 10-20x slower under instrumentation — the
+# race-relevant parallelism is covered by the replica and SpMV tests.
+race:
+	$(GO) test -race -short ./...
+
+# xvalidate is the sim-vs-solver smoke check: a K=3 replicated simulation
+# cross-validated against the exact MAP network within the documented
+# tolerance (see internal/validate).
+xvalidate:
+	$(GO) test -run 'CrossValidation' -v ./internal/validate/
 
 # bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3 solves,
 # the warm/cold population sweep, and the generator-assembly microbench —

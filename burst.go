@@ -53,8 +53,10 @@ import (
 	"repro/internal/markov"
 	"repro/internal/mva"
 	"repro/internal/queues"
+	"repro/internal/stats"
 	"repro/internal/tpcw"
 	"repro/internal/trace"
+	"repro/internal/validate"
 	"repro/internal/xrand"
 )
 
@@ -126,6 +128,22 @@ type (
 	TPCWResult = tpcw.Result
 	// TPCWMix is one of the standard transaction mixes.
 	TPCWMix = tpcw.Mix
+	// TPCWConfigN parameterizes an N-tier TPC-W testbed simulation.
+	TPCWConfigN = tpcw.ConfigN
+	// TPCWTierConfig is one tier of an N-tier testbed.
+	TPCWTierConfig = tpcw.TierConfig
+	// TPCWTierDemand is one transaction type's demand at one tier.
+	TPCWTierDemand = tpcw.TierDemand
+	// TPCWResultN is an N-tier testbed run's measurements.
+	TPCWResultN = tpcw.ResultN
+	// TPCWReplicaResult aggregates independently seeded replicas.
+	TPCWReplicaResult = tpcw.ReplicaResult
+	// Interval is a mean with a 95% confidence half-width.
+	Interval = stats.Interval
+	// ValidationOptions tunes a sim-vs-model cross-validation.
+	ValidationOptions = validate.Options
+	// ValidationReport compares simulation against the MAP and MVA models.
+	ValidationReport = validate.Report
 
 	// QueueResult summarizes a single-queue simulation (Table 1).
 	QueueResult = queues.Result
@@ -245,6 +263,36 @@ func SolveMVAN(demands []float64, thinkTime float64, n int) (MVAResult, error) {
 // SimulateTPCW runs the TPC-W testbed simulator.
 func SimulateTPCW(cfg TPCWConfig) (*TPCWResult, error) {
 	return tpcw.Run(cfg)
+}
+
+// SimulateTPCWN runs the N-tier TPC-W testbed simulator: a routed
+// multi-station pipeline where each tier is a processor-sharing server
+// with its own Markov-modulated contention environment.
+func SimulateTPCWN(cfg TPCWConfigN) (*TPCWResultN, error) {
+	return tpcw.RunN(cfg)
+}
+
+// SimulateTPCWReplicas runs replicas independently seeded copies of an
+// N-tier simulation across goroutines (workers <= 0 uses GOMAXPROCS) and
+// returns mean ± 95% confidence intervals plus pooled per-tier samples.
+func SimulateTPCWReplicas(cfg TPCWConfigN, replicas, workers int) (*TPCWReplicaResult, error) {
+	return tpcw.RunReplicas(cfg, replicas, workers)
+}
+
+// DefaultTPCWTiers builds a K-tier testbed specification (K >= 2) from
+// the default transaction profiles: front, K-2 application tiers, and the
+// database with the mix's contention environment.
+func DefaultTPCWTiers(mix TPCWMix, k int) ([]TPCWTierConfig, error) {
+	return tpcw.DefaultTiers(mix, k)
+}
+
+// CrossValidateTPCW closes the paper's measure → characterize → fit →
+// model loop against the simulated N-tier testbed: it simulates
+// (replicated), characterizes every tier from the simulated coarse
+// samples, solves the exact K-station MAP network and the MVA baseline at
+// the simulated population, and reports the model errors.
+func CrossValidateTPCW(cfg TPCWConfigN, opts ValidationOptions) (*ValidationReport, error) {
+	return validate.CrossValidate(cfg, opts)
 }
 
 // BrowsingMix, ShoppingMix and OrderingMix return the standard TPC-W

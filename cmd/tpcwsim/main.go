@@ -1,11 +1,17 @@
-// Command tpcwsim runs one TPC-W testbed simulation and prints the
-// headline metrics plus, optionally, the coarse monitoring streams as CSV
-// (consumable by the dispersion and capplan tools).
+// Command tpcwsim runs TPC-W testbed simulations — two-tier by default,
+// N-tier with -tiers, replicated with -replicas — and prints the headline
+// metrics plus, optionally, the coarse monitoring streams as CSV
+// (consumable by the dispersion and capplan tools). With -validate it
+// closes the paper's loop: the simulated per-tier samples are fed through
+// the estimation pipeline into the exact K-station MAP network solver and
+// the predictions are compared back against the simulation.
 //
 // Usage:
 //
 //	tpcwsim -mix browsing -ebs 100 -duration 1800
 //	tpcwsim -mix browsing -ebs 50 -z 7 -csv front > front.csv
+//	tpcwsim -mix shopping -tiers 3 -ebs 60 -replicas 5
+//	tpcwsim -mix ordering -tiers 3 -ebs 30 -replicas 3 -validate
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"os"
 
 	"repro/internal/tpcw"
+	"repro/internal/trace"
+	"repro/internal/validate"
 )
 
 func main() {
@@ -28,12 +36,19 @@ func run() error {
 	ebs := flag.Int("ebs", 100, "number of emulated browsers")
 	z := flag.Float64("z", 0.5, "mean think time in seconds")
 	duration := flag.Float64("duration", 1800, "simulated seconds")
-	warmup := flag.Float64("warmup", 120, "warm-up seconds excluded from analysis")
-	cooldown := flag.Float64("cooldown", 60, "cool-down seconds excluded from analysis")
+	warmup := flag.Float64("warmup", 120, "warm-up seconds excluded from analysis (negative for exactly zero)")
+	cooldown := flag.Float64("cooldown", 60, "cool-down seconds excluded from analysis (negative for exactly zero)")
 	seed := flag.Int64("seed", 1, "random seed")
-	csvTier := flag.String("csv", "", "emit monitoring CSV (utilization,completions) for tier: front or db")
+	tiers := flag.Int("tiers", 2, "number of service tiers (front, app..., db)")
+	replicas := flag.Int("replicas", 1, "independently seeded replicas to run (with -validate, unset means 3)")
+	workers := flag.Int("workers", 0, "max goroutines for replicas (0 = GOMAXPROCS)")
+	doValidate := flag.Bool("validate", false, "cross-validate the simulation against the MAP and MVA models")
+	csvTier := flag.String("csv", "", "emit monitoring CSV (utilization,completions) for the named tier (front, app..., db)")
 	flag.Parse()
 
+	if *replicas < 1 {
+		return fmt.Errorf("replicas %d must be >= 1", *replicas)
+	}
 	var mix tpcw.Mix
 	switch *mixName {
 	case "browsing":
@@ -46,42 +61,124 @@ func run() error {
 		return fmt.Errorf("unknown mix %q", *mixName)
 	}
 
-	res, err := tpcw.Run(tpcw.Config{
-		Mix: mix, EBs: *ebs, ThinkTime: *z, Seed: *seed,
-		Duration: *duration, Warmup: *warmup, Cooldown: *cooldown,
-	})
+	tierCfgs, err := tpcw.DefaultTiers(mix, *tiers)
 	if err != nil {
 		return err
 	}
+	// On the CLI an explicit -warmup 0 / -cooldown 0 means "analyze the
+	// whole run", not "use the library default" — map it to the sentinel.
+	if *warmup == 0 && flagSet("warmup") {
+		*warmup = tpcw.ZeroWindow
+	}
+	if *cooldown == 0 && flagSet("cooldown") {
+		*cooldown = tpcw.ZeroWindow
+	}
+	cfg := tpcw.ConfigN{
+		Mix: mix, Tiers: tierCfgs,
+		EBs: *ebs, ThinkTime: *z, Seed: *seed,
+		Duration: *duration, Warmup: *warmup, Cooldown: *cooldown,
+	}
 
-	switch *csvTier {
-	case "":
-		fmt.Printf("mix=%s ebs=%d z=%.2fs duration=%.0fs\n", mix.Name, *ebs, *z, *duration)
-		fmt.Printf("throughput=%.2f tx/s  meanResponse=%.4fs  p95Response=%.4fs\n",
-			res.Throughput, res.MeanResponse, res.P95Response)
-		fmt.Printf("utilization front=%.3f db=%.3f\n", res.AvgUtilFront, res.AvgUtilDB)
-		fmt.Printf("contention fraction front=%.3f db=%.3f\n",
-			res.FrontContentionFraction, res.DBContentionFraction)
-		fmt.Println("per-type completions:")
-		for t := tpcw.Transaction(0); t < tpcw.NumTransactions; t++ {
-			fmt.Printf("  %-22v %8d (%.3f)\n", t, res.CompletedByType[t],
-				float64(res.CompletedByType[t])/float64(res.Completed))
+	if *doValidate {
+		if *csvTier != "" {
+			return fmt.Errorf("-csv cannot be combined with -validate (the validation report is not CSV)")
 		}
+		// A 1-replica validation carries no confidence interval; unless
+		// the user asked for a replica count, let the library default
+		// (3) apply so the report's ± columns mean something.
+		reps := *replicas
+		if !flagSet("replicas") {
+			reps = 0
+		}
+		rep, err := validate.CrossValidate(cfg, validate.Options{Replicas: reps, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		printValidation(rep)
 		return nil
-	case "front":
-		return emitCSV(res.FrontSamples.Utilization, res.FrontSamples.Completions)
-	case "db":
-		return emitCSV(res.DBSamples.Utilization, res.DBSamples.Completions)
-	default:
-		return fmt.Errorf("unknown tier %q (want front or db)", *csvTier)
+	}
+
+	if *replicas > 1 {
+		rr, err := tpcw.RunReplicas(cfg, *replicas, *workers)
+		if err != nil {
+			return err
+		}
+		if *csvTier != "" {
+			return emitTierCSV(rr.TierNames, rr.TierSamples, *csvTier)
+		}
+		printReplicas(mix, cfg, rr)
+		return nil
+	}
+
+	res, err := tpcw.RunN(cfg)
+	if err != nil {
+		return err
+	}
+	if *csvTier != "" {
+		return emitTierCSV(res.TierNames, res.TierSamples, *csvTier)
+	}
+	fmt.Printf("mix=%s tiers=%d ebs=%d z=%.2fs duration=%.0fs\n", mix.Name, len(res.TierNames), *ebs, *z, *duration)
+	fmt.Printf("throughput=%.2f tx/s  meanResponse=%.4fs  p95Response=%.4fs\n",
+		res.Throughput, res.MeanResponse, res.P95Response)
+	for i, name := range res.TierNames {
+		fmt.Printf("tier %-6s utilization=%.3f contention=%.3f\n",
+			name, res.AvgUtil[i], res.ContentionFraction[i])
+	}
+	fmt.Println("per-type completions:")
+	for t := tpcw.Transaction(0); t < tpcw.NumTransactions; t++ {
+		fmt.Printf("  %-22v %8d (%.3f)\n", t, res.CompletedByType[t],
+			float64(res.CompletedByType[t])/float64(res.Completed))
+	}
+	return nil
+}
+
+// flagSet reports whether the named flag was explicitly provided.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func printReplicas(mix tpcw.Mix, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult) {
+	fmt.Printf("mix=%s tiers=%d ebs=%d replicas=%d\n", mix.Name, len(rr.TierNames), cfg.EBs, len(rr.Results))
+	fmt.Printf("throughput=%.2f ± %.2f tx/s  meanResponse=%.4f ± %.4fs\n",
+		rr.Throughput.Mean, rr.Throughput.HalfWidth,
+		rr.MeanResponse.Mean, rr.MeanResponse.HalfWidth)
+	for i, name := range rr.TierNames {
+		fmt.Printf("tier %-6s utilization=%.3f ± %.3f\n", name, rr.AvgUtil[i].Mean, rr.AvgUtil[i].HalfWidth)
 	}
 }
 
-func emitCSV(utils, completions []float64) error {
-	for i := range utils {
-		if _, err := fmt.Printf("%.6f,%.1f\n", utils[i], completions[i]); err != nil {
-			return err
-		}
+func printValidation(rep *validate.Report) {
+	fmt.Printf("cross-validation at %d EBs, Z=%.2fs, %d replicas (CTMC states: %d)\n",
+		rep.EBs, rep.ThinkTime, rep.Replicas, rep.States)
+	fmt.Printf("throughput  sim=%.2f ± %.2f  MAP=%.2f (%+.1f%%)  MVA=%.2f (%+.1f%%)\n",
+		rep.SimThroughput.Mean, rep.SimThroughput.HalfWidth,
+		rep.MAPThroughput, 100*rep.MAPError, rep.MVAThroughput, 100*rep.MVAError)
+	for _, tier := range rep.Tiers {
+		fmt.Printf("tier %-6s U sim=%.3f ± %.3f  MAP=%.3f (%+.3f)  MVA=%.3f (%+.3f)  I=%.1f\n",
+			tier.Name, tier.SimUtil.Mean, tier.SimUtil.HalfWidth,
+			tier.MAPUtil, tier.MAPError, tier.MVAUtil, tier.MVAError,
+			tier.Characterization.IndexOfDispersion)
 	}
-	return nil
+}
+
+func emitTierCSV(names []string, samples []trace.UtilizationSamples, tier string) error {
+	for i, name := range names {
+		if name != tier {
+			continue
+		}
+		s := samples[i]
+		for k := range s.Utilization {
+			if _, err := fmt.Printf("%.6f,%.1f\n", s.Utilization[k], s.Completions[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown tier %q (have %v)", tier, names)
 }

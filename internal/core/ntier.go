@@ -42,7 +42,8 @@ type PlanN struct {
 
 // tierNames resolves tier labels: explicit names win, then the paper's
 // front/db convention for two tiers, then front/app.../db for deeper
-// chains.
+// chains. The defaults must stay in sync with tpcw's resolveTierNames so
+// simulator and planner labels agree when neither is given explicit names.
 func tierNames(k int, explicit []string) ([]string, error) {
 	if len(explicit) != 0 {
 		if len(explicit) != k {

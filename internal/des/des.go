@@ -124,7 +124,11 @@ func (s *Sim) RunUntil(t float64) {
 
 // Drain executes every remaining event; the clock ends at the time of the
 // last event fired (unlike RunUntil, which advances the clock to the
-// horizon even when idle).
+// horizon even when idle). Drain terminates only if the event population
+// eventually stops replenishing itself: an unconditionally
+// self-rescheduling callback (e.g. a monitor without a horizon — see
+// monitor.WatchUntil) keeps the calendar non-empty forever, and Drain
+// never returns.
 func (s *Sim) Drain() {
 	for s.Step() {
 	}

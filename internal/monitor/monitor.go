@@ -8,6 +8,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/des"
 	"repro/internal/trace"
@@ -24,22 +25,51 @@ type StationMonitor struct {
 
 	utils  []float64
 	counts []float64
+
+	pending *des.Event
+	stopped bool
 }
 
-// Watch attaches a monitor to station, sampling every period seconds
-// until the simulation ends. Sampling events are self-rescheduling.
+// Watch attaches a monitor to station, sampling every period seconds for
+// as long as the simulation runs (no horizon). Call Stop to detach, or
+// use WatchUntil: an unbounded monitor keeps the event calendar non-empty
+// forever, so des.Sim.Drain would never terminate.
 func Watch(sim *des.Sim, station des.Station, period float64) *StationMonitor {
+	return WatchUntil(sim, station, period, math.Inf(1))
+}
+
+// WatchUntil attaches a monitor to station, sampling every period seconds
+// at times period, 2*period, ... up to and including horizon. Once the
+// last tick at or before the horizon has fired the monitor schedules
+// nothing further, so a drained simulation terminates.
+func WatchUntil(sim *des.Sim, station des.Station, period, horizon float64) *StationMonitor {
 	if period <= 0 {
 		panic(fmt.Sprintf("monitor: period %v must be > 0", period))
 	}
 	m := &StationMonitor{station: station, period: period}
 	var tick func()
 	tick = func() {
+		m.pending = nil
+		if m.stopped {
+			return
+		}
 		m.sample()
-		sim.Schedule(period, tick)
+		if next := sim.Now() + period; next <= horizon {
+			m.pending = sim.Schedule(period, tick)
+		}
 	}
-	sim.Schedule(period, tick)
+	if sim.Now()+period <= horizon {
+		m.pending = sim.Schedule(period, tick)
+	}
 	return m
+}
+
+// Stop detaches the monitor: the pending sampling event is canceled and no
+// further ticks are scheduled. Samples collected so far remain available.
+func (m *StationMonitor) Stop() {
+	m.stopped = true
+	m.pending.Cancel()
+	m.pending = nil
 }
 
 func (m *StationMonitor) sample() {
@@ -83,21 +113,49 @@ func (m *StationMonitor) Len() int { return len(m.utils) }
 type SeriesRecorder struct {
 	period float64
 	values []float64
+
+	pending *des.Event
+	stopped bool
 }
 
-// Record schedules fn() to be sampled every period seconds.
+// Record schedules fn() to be sampled every period seconds with no
+// horizon. Call Stop to detach, or use RecordUntil so a drained
+// simulation terminates.
 func Record(sim *des.Sim, period float64, fn func() float64) *SeriesRecorder {
+	return RecordUntil(sim, period, math.Inf(1), fn)
+}
+
+// RecordUntil schedules fn() to be sampled every period seconds at times
+// period, 2*period, ... up to and including horizon, after which the
+// recorder schedules nothing further.
+func RecordUntil(sim *des.Sim, period, horizon float64, fn func() float64) *SeriesRecorder {
 	if period <= 0 {
 		panic(fmt.Sprintf("monitor: period %v must be > 0", period))
 	}
 	r := &SeriesRecorder{period: period}
 	var tick func()
 	tick = func() {
+		r.pending = nil
+		if r.stopped {
+			return
+		}
 		r.values = append(r.values, fn())
-		sim.Schedule(period, tick)
+		if next := sim.Now() + period; next <= horizon {
+			r.pending = sim.Schedule(period, tick)
+		}
 	}
-	sim.Schedule(period, tick)
+	if sim.Now()+period <= horizon {
+		r.pending = sim.Schedule(period, tick)
+	}
 	return r
+}
+
+// Stop detaches the recorder: the pending sampling event is canceled and
+// no further ticks are scheduled. Values recorded so far remain available.
+func (r *SeriesRecorder) Stop() {
+	r.stopped = true
+	r.pending.Cancel()
+	r.pending = nil
 }
 
 // Values returns the recorded series.
@@ -128,10 +186,16 @@ type UtilizationRecorder struct {
 }
 
 // RecordUtilization samples station utilization over consecutive windows
-// of the given period.
+// of the given period, with no horizon (see Record).
 func RecordUtilization(sim *des.Sim, station des.Station, period float64) *UtilizationRecorder {
+	return RecordUtilizationUntil(sim, station, period, math.Inf(1))
+}
+
+// RecordUtilizationUntil is RecordUtilization with a sampling horizon
+// (see RecordUntil).
+func RecordUtilizationUntil(sim *des.Sim, station des.Station, period, horizon float64) *UtilizationRecorder {
 	u := &UtilizationRecorder{}
-	u.rec = Record(sim, period, func() float64 {
+	u.rec = RecordUntil(sim, period, horizon, func() float64 {
 		busy := station.BusyTime()
 		util := (busy - u.lastBusy) / period
 		u.lastBusy = busy
@@ -148,6 +212,9 @@ func RecordUtilization(sim *des.Sim, station des.Station, period float64) *Utili
 
 // Values returns the per-window utilizations recorded so far.
 func (u *UtilizationRecorder) Values() []float64 { return u.rec.Values() }
+
+// Stop detaches the recorder (see SeriesRecorder.Stop).
+func (u *UtilizationRecorder) Stop() { u.rec.Stop() }
 
 // Window returns utilizations in the sample range [from, to).
 func (u *UtilizationRecorder) Window(from, to int) []float64 { return u.rec.Window(from, to) }

@@ -124,6 +124,89 @@ func TestSeriesRecorder(t *testing.T) {
 	}
 }
 
+func TestDrainTerminatesWithHorizonMonitors(t *testing.T) {
+	// Regression: Watch and Record used to self-reschedule unconditionally,
+	// so any simulation with a monitor attached had a non-empty calendar
+	// forever and des.Sim.Drain livelocked. Horizon-bounded monitors stop
+	// scheduling once the last tick at or before the horizon fired.
+	sim := des.NewSim()
+	st := des.NewPSStation(sim, "ps", func(*des.Job) {})
+	m := WatchUntil(sim, st, 5, 100)
+	r := RecordUntil(sim, 1, 100, func() float64 { return float64(st.QueueLen()) })
+	u := RecordUtilizationUntil(sim, st, 1, 100)
+	st.Arrive(&des.Job{Demand: 3})
+	sim.Drain() // must terminate
+	if sim.Now() != 100 {
+		t.Errorf("drained clock = %v, want 100 (last monitor tick)", sim.Now())
+	}
+	if m.Len() != 20 {
+		t.Errorf("monitor samples = %d, want 20", m.Len())
+	}
+	if len(r.Values()) != 100 || len(u.Values()) != 100 {
+		t.Errorf("recorder lengths = %d/%d, want 100/100", len(r.Values()), len(u.Values()))
+	}
+	if sim.Pending() != 0 {
+		t.Errorf("calendar still holds %d events after drain", sim.Pending())
+	}
+}
+
+func TestStopDetachesUnboundedMonitors(t *testing.T) {
+	sim := des.NewSim()
+	st := des.NewPSStation(sim, "ps", func(*des.Job) {})
+	m := Watch(sim, st, 5)
+	r := Record(sim, 1, func() float64 { return 0 })
+	u := RecordUtilization(sim, st, 1)
+	sim.RunUntil(20)
+	m.Stop()
+	r.Stop()
+	u.Stop()
+	sim.Drain() // only canceled ticks remain; must terminate
+	if m.Len() != 4 {
+		t.Errorf("monitor samples = %d, want 4 (5,10,15,20)", m.Len())
+	}
+	if len(r.Values()) != 20 || len(u.Values()) != 20 {
+		t.Errorf("recorder lengths = %d/%d, want 20/20", len(r.Values()), len(u.Values()))
+	}
+	// Stopping twice is harmless.
+	m.Stop()
+	r.Stop()
+}
+
+func TestWatchUntilAttachedMidRunRespectsHorizon(t *testing.T) {
+	// The horizon is absolute: a monitor attached at t=100 with horizon
+	// 102 must not tick at t=105 (its first tick would already be past
+	// the horizon).
+	sim := des.NewSim()
+	st := des.NewPSStation(sim, "ps", func(*des.Job) {})
+	sim.RunUntil(100)
+	m := WatchUntil(sim, st, 5, 102)
+	r := RecordUntil(sim, 5, 102, func() float64 { return 0 })
+	sim.Drain()
+	if m.Len() != 0 || len(r.Values()) != 0 {
+		t.Errorf("ticks past the horizon: monitor %d, recorder %d, clock %v",
+			m.Len(), len(r.Values()), sim.Now())
+	}
+	// With the horizon one tick away, exactly one sample lands (t=105).
+	m2 := WatchUntil(sim, st, 5, 105)
+	sim.Drain()
+	if m2.Len() != 1 {
+		t.Errorf("samples = %d, want exactly 1 at the horizon", m2.Len())
+	}
+}
+
+func TestWatchUntilShortHorizonCollectsNothing(t *testing.T) {
+	sim := des.NewSim()
+	st := des.NewPSStation(sim, "ps", func(*des.Job) {})
+	m := WatchUntil(sim, st, 5, 3) // first tick would land after the horizon
+	sim.Drain()
+	if m.Len() != 0 {
+		t.Errorf("samples = %d, want 0", m.Len())
+	}
+	if sim.EventsFired() != 0 {
+		t.Errorf("events fired = %d, want 0", sim.EventsFired())
+	}
+}
+
 func TestUtilizationRecorderTracksBusyFraction(t *testing.T) {
 	sim := des.NewSim()
 	st := des.NewPSStation(sim, "ps", func(*des.Job) {})

@@ -1,0 +1,133 @@
+package tpcw
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// ReplicaResult aggregates R independently seeded runs of one ConfigN:
+// headline metrics as mean ± 95% confidence half-width across replicas,
+// plus per-tier monitoring streams pooled for the estimation pipeline.
+type ReplicaResult struct {
+	// Config is the (defaulted) configuration every replica ran.
+	Config ConfigN
+	// Seeds[r] is the seed replica r ran with, derived deterministically
+	// from Config.Seed — the same root seed always produces the same
+	// replica family regardless of worker count.
+	Seeds []int64
+	// Results[r] is replica r's full result.
+	Results []*ResultN
+
+	// Throughput and MeanResponse are across-replica summaries (Student-t
+	// 95% confidence intervals).
+	Throughput   stats.Interval
+	MeanResponse stats.Interval
+	// AvgUtil[i] summarizes tier i's mean utilization across replicas.
+	AvgUtil []stats.Interval
+
+	// TierSamples[i] is tier i's coarse (U_k, n_k) stream with the
+	// replicas' measurement windows concatenated in replica order —
+	// the input shape inference.CharacterizeAll consumes. Busy-window
+	// statistics over the concatenation treat the replica boundaries as
+	// ordinary sample boundaries, which is the standard pooling for
+	// independent segments.
+	TierSamples []trace.UtilizationSamples
+	// TierNames labels the per-tier slices.
+	TierNames []string
+}
+
+// RunReplicas executes replicas independently seeded copies of cfg across
+// at most workers goroutines (GOMAXPROCS when workers <= 0) and
+// aggregates their results. Replica seeds derive from cfg.Seed via a
+// dedicated stream, so results are fully deterministic and invariant to
+// the worker count: only the assignment of replicas to goroutines
+// changes, never a replica's seed or its slot in the output.
+func RunReplicas(cfg ConfigN, replicas, workers int) (*ReplicaResult, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("tpcw: replicas %d must be >= 1", replicas)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > replicas {
+		workers = replicas
+	}
+
+	seedSrc := xrand.New(cfg.Seed)
+	seeds := make([]int64, replicas)
+	for i := range seeds {
+		seeds[i] = seedSrc.Int63()
+	}
+
+	results := make([]*ResultN, replicas)
+	errs := make([]error, replicas)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= replicas {
+					return
+				}
+				// cfg was deep-copied by WithDefaults above; the per-
+				// replica copy only diverges in its seed.
+				c := cfg
+				c.Seed = seeds[i]
+				results[i], errs[i] = RunN(c)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tpcw: replica %d (seed %d): %w", i, seeds[i], err)
+		}
+	}
+
+	k := len(cfg.Tiers)
+	rr := &ReplicaResult{
+		Config:    cfg,
+		Seeds:     seeds,
+		Results:   results,
+		TierNames: results[0].TierNames,
+		AvgUtil:   make([]stats.Interval, k),
+	}
+	xs := make([]float64, replicas)
+	for r, res := range results {
+		xs[r] = res.Throughput
+	}
+	rr.Throughput = stats.MeanCI95(xs)
+	for r, res := range results {
+		xs[r] = res.MeanResponse
+	}
+	rr.MeanResponse = stats.MeanCI95(xs)
+	for i := 0; i < k; i++ {
+		for r, res := range results {
+			xs[r] = res.AvgUtil[i]
+		}
+		rr.AvgUtil[i] = stats.MeanCI95(xs)
+	}
+	rr.TierSamples = make([]trace.UtilizationSamples, k)
+	for i := 0; i < k; i++ {
+		pooled := trace.UtilizationSamples{PeriodSeconds: cfg.MonitorPeriod}
+		for _, res := range results {
+			pooled.Utilization = append(pooled.Utilization, res.TierSamples[i].Utilization...)
+			pooled.Completions = append(pooled.Completions, res.TierSamples[i].Completions...)
+		}
+		rr.TierSamples[i] = pooled
+	}
+	return rr, nil
+}

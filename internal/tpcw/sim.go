@@ -1,18 +1,15 @@
 package tpcw
 
 import (
-	"errors"
 	"fmt"
 
-	"repro/internal/des"
-	"repro/internal/monitor"
-	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/xrand"
 )
 
 // Config parameterizes one testbed run, mirroring the paper's
-// experimental settings (Section 3.1-3.2).
+// experimental settings (Section 3.1-3.2). It is the legacy two-tier
+// (front + database) configuration; ConfigN is the N-tier general form
+// and Run is a thin wrapper over RunN.
 type Config struct {
 	// Mix is the transaction mix (browsing/shopping/ordering).
 	Mix Mix
@@ -25,7 +22,10 @@ type Config struct {
 	// JVM warm-up).
 	Duration float64
 	// Warmup and Cooldown are the head/tail seconds excluded from
-	// analysis (the paper discards the first and last 5 minutes).
+	// analysis (the paper discards the first and last 5 minutes). Zero
+	// means unset (defaults 120/60 s); use ZeroWindow (or any negative
+	// value) for an explicitly empty window. Both must be whole
+	// multiples of MonitorPeriod.
 	Warmup, Cooldown float64
 	// MonitorPeriod is the coarse measurement window W for utilization
 	// and completion sampling (the paper's Diagnostics resolution, 5 s).
@@ -50,12 +50,8 @@ func (c Config) withDefaults() Config {
 	if c.Duration == 0 {
 		c.Duration = 1800
 	}
-	if c.Warmup == 0 {
-		c.Warmup = 120
-	}
-	if c.Cooldown == 0 {
-		c.Cooldown = 60
-	}
+	c.Warmup = defaultWindow(c.Warmup, 120)
+	c.Cooldown = defaultWindow(c.Cooldown, 60)
 	if c.MonitorPeriod == 0 {
 		c.MonitorPeriod = 5
 	}
@@ -90,6 +86,63 @@ func (c Config) Validate() error {
 		return fmt.Errorf("tpcw: monitor period %v must be > 0", c.MonitorPeriod)
 	}
 	return nil
+}
+
+// tierConfigs maps the two-tier config onto the N-tier tier
+// specification: tier 0 is the front server (one pass per transaction,
+// every type can trigger front contention with weight 1), tier 1 the
+// database (per-query demands, MinQueries..MaxQueries passes, per-type
+// contention weights).
+func (c Config) tierConfigs(profiles [NumTransactions]Profile) []TierConfig {
+	front := TierConfig{Name: "front", Contention: c.Mix.FrontContention}
+	db := TierConfig{Name: "db", Contention: c.Mix.DBContention}
+	for t, p := range profiles {
+		front.Demands[t] = TierDemand{
+			Mean: p.FrontDemand, SCV: p.FrontSCV,
+			MinPasses: 1, MaxPasses: 1,
+			ContentionWeight: 1,
+		}
+		db.Demands[t] = TierDemand{
+			Mean: p.QueryDemand, SCV: p.QuerySCV,
+			MinPasses: p.MinQueries, MaxPasses: p.MaxQueries,
+			ContentionWeight: p.ContentionWeight,
+		}
+	}
+	return []TierConfig{front, db}
+}
+
+// ToN converts the legacy two-tier configuration into the equivalent
+// N-tier ConfigN. Unset fields stay unset (RunN applies the same
+// defaults Run always has).
+func (c Config) ToN() (ConfigN, error) {
+	profiles := DefaultProfiles()
+	if c.Profiles != nil {
+		profiles = *c.Profiles
+	}
+	for t, p := range profiles {
+		if p.FrontDemand <= 0 || p.QueryDemand <= 0 || p.MinQueries < 1 || p.MaxQueries < p.MinQueries {
+			return ConfigN{}, fmt.Errorf("tpcw: invalid profile for %v: %+v", Transaction(t), p)
+		}
+		// SCV < 1 has always been rejected here (H2 demands require it);
+		// keep that, since ConfigN.WithDefaults would otherwise rewrite a
+		// zero SCV to exponential and silently change the run's semantics.
+		if p.FrontSCV < 1 || p.QuerySCV < 1 {
+			return ConfigN{}, fmt.Errorf("tpcw: profile for %v: SCVs %v/%v must be >= 1", Transaction(t), p.FrontSCV, p.QuerySCV)
+		}
+	}
+	return ConfigN{
+		Mix:             c.Mix,
+		Tiers:           c.tierConfigs(profiles),
+		EBs:             c.EBs,
+		ThinkTime:       c.ThinkTime,
+		Duration:        c.Duration,
+		Warmup:          c.Warmup,
+		Cooldown:        c.Cooldown,
+		MonitorPeriod:   c.MonitorPeriod,
+		Seed:            c.Seed,
+		StructureWeight: c.StructureWeight,
+		TrackSeries:     c.TrackSeries,
+	}, nil
 }
 
 // Result holds everything a run produces: headline metrics, the coarse
@@ -134,221 +187,43 @@ type Result struct {
 	FrontContentionFraction float64
 }
 
-// transactionState tracks one in-flight transaction.
-type transactionState struct {
-	eb          *emulatedBrowser
-	txType      Transaction
-	submittedAt float64
-	queriesLeft int
-}
-
 // emulatedBrowser is one closed-loop client session.
 type emulatedBrowser struct {
 	id      int
 	current Transaction
 }
 
-// Run executes one testbed experiment.
+// Run executes one testbed experiment: the two-tier special case of RunN,
+// kept as the paper-facing API. Results are bit-identical to the original
+// dedicated two-tier engine for any fixed seed.
 func Run(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	cfgN, err := cfg.ToN()
+	if err != nil {
 		return nil, err
 	}
-	profiles := DefaultProfiles()
-	if cfg.Profiles != nil {
-		profiles = *cfg.Profiles
-	}
-	for t, p := range profiles {
-		if p.FrontDemand <= 0 || p.QueryDemand <= 0 || p.MinQueries < 1 || p.MaxQueries < p.MinQueries {
-			return nil, fmt.Errorf("tpcw: invalid profile for %v: %+v", Transaction(t), p)
-		}
-	}
-	// Pre-build per-type demand distributions.
-	var frontDist, queryDist [NumTransactions]xrand.Hyper2
-	for t, p := range profiles {
-		fd, err := xrand.NewHyper2(p.FrontDemand, p.FrontSCV)
-		if err != nil {
-			return nil, fmt.Errorf("tpcw: front demand for %v: %w", Transaction(t), err)
-		}
-		qd, err := xrand.NewHyper2(p.QueryDemand, p.QuerySCV)
-		if err != nil {
-			return nil, fmt.Errorf("tpcw: query demand for %v: %w", Transaction(t), err)
-		}
-		frontDist[t] = fd
-		queryDist[t] = qd
-	}
-
-	sim := des.NewSim()
-	root := xrand.New(cfg.Seed)
-	thinkSrc := root.Split()
-	navSrc := root.Split()
-	demandSrc := root.Split()
-	contSrc := root.Split()
-	cbmg := NewCBMG(cfg.Mix, cfg.StructureWeight)
-
-	measureStart := cfg.Warmup
-	measureEnd := cfg.Duration - cfg.Cooldown
-	inWindow := func() bool {
-		now := sim.Now()
-		return now >= measureStart && now < measureEnd
-	}
-
-	res := &Result{Config: cfg}
-	var responses []float64
-	var inSystem [NumTransactions]int
-
-	var front, db *des.PSStation
-	var frontEnv, dbEnv *contentionEnv
-	var dbTxnCompletions int64
-
-	// DB query completion: either issue the next query of the
-	// transaction or finish the transaction.
-	onDBComplete := func(j *des.Job) {
-		st := j.Ctx.(*transactionState)
-		st.queriesLeft--
-		if st.queriesLeft > 0 {
-			issueQuery(sim, db, dbEnv, st, &profiles, &queryDist, demandSrc, contSrc)
-			return
-		}
-		dbTxnCompletions++
-		// Transaction complete: record and return the EB to thinking.
-		inSystem[st.txType]--
-		if inWindow() {
-			res.Completed++
-			res.CompletedByType[st.txType]++
-			responses = append(responses, sim.Now()-st.submittedAt)
-		}
-		eb := st.eb
-		sim.Schedule(thinkSrc.Exp(cfg.ThinkTime), func() {
-			submit(sim, eb, cbmg, navSrc, front, frontEnv, &profiles, &frontDist, demandSrc, contSrc, &inSystem)
-		})
-	}
-
-	// Front completion: start the transaction's DB phase.
-	onFrontComplete := func(j *des.Job) {
-		st := j.Ctx.(*transactionState)
-		p := profiles[st.txType]
-		st.queriesLeft = p.MinQueries
-		if p.MaxQueries > p.MinQueries {
-			st.queriesLeft += demandSrc.Intn(p.MaxQueries - p.MinQueries + 1)
-		}
-		issueQuery(sim, db, dbEnv, st, &profiles, &queryDist, demandSrc, contSrc)
-	}
-
-	front = des.NewPSStation(sim, "front", onFrontComplete)
-	db = des.NewPSStation(sim, "db", onDBComplete)
-	frontEnv = newContentionEnv(sim, front, cfg.Mix.FrontContention, contSrc)
-	dbEnv = newContentionEnv(sim, db, cfg.Mix.DBContention, contSrc)
-
-	// Monitoring: the DB view counts transaction-level completions.
-	frontMon := monitor.Watch(sim, front, cfg.MonitorPeriod)
-	dbMon := monitor.Watch(sim, &dbTransactionView{station: db, txnCompletions: &dbTxnCompletions}, cfg.MonitorPeriod)
-
-	var frontU, dbU *monitor.UtilizationRecorder
-	var dbQueueRec *monitor.SeriesRecorder
-	var inSysRecs [NumTransactions]*monitor.SeriesRecorder
-	if cfg.TrackSeries {
-		frontU = monitor.RecordUtilization(sim, front, 1)
-		dbU = monitor.RecordUtilization(sim, db, 1)
-		dbQueueRec = monitor.Record(sim, 1, func() float64 { return float64(db.QueueLen()) })
-		for t := 0; t < NumTransactions; t++ {
-			t := t
-			inSysRecs[t] = monitor.Record(sim, 1, func() float64 { return float64(inSystem[t]) })
-		}
-	}
-
-	// Launch the EBs: stagger initial think times to avoid a thundering
-	// herd at t=0 (sessions are already active when measurement starts).
-	for i := 0; i < cfg.EBs; i++ {
-		eb := &emulatedBrowser{id: i, current: Home}
-		sim.Schedule(thinkSrc.Exp(cfg.ThinkTime), func() {
-			submit(sim, eb, cbmg, navSrc, front, frontEnv, &profiles, &frontDist, demandSrc, contSrc, &inSystem)
-		})
-	}
-	sim.RunUntil(cfg.Duration)
-
-	// Collect results.
-	window := measureEnd - measureStart
-	res.Throughput = float64(res.Completed) / window
-	if len(responses) > 0 {
-		res.MeanResponse = stats.Mean(responses)
-		p95, err := stats.Percentile(responses, 95)
-		if err != nil {
-			return nil, err
-		}
-		res.P95Response = p95
-	}
-	trimHead := int(measureStart / cfg.MonitorPeriod)
-	trimTail := int(cfg.Cooldown / cfg.MonitorPeriod)
-	fs, err := frontMon.Samples(trimHead, trimTail)
+	resN, err := RunN(cfgN)
 	if err != nil {
-		return nil, fmt.Errorf("tpcw: front monitor: %w", err)
+		return nil, err
 	}
-	ds, err := dbMon.Samples(trimHead, trimTail)
-	if err != nil {
-		return nil, fmt.Errorf("tpcw: db monitor: %w", err)
+	res := &Result{
+		Config:                  cfg.withDefaults(),
+		Throughput:              resN.Throughput,
+		MeanResponse:            resN.MeanResponse,
+		P95Response:             resN.P95Response,
+		FrontSamples:            resN.TierSamples[0],
+		DBSamples:               resN.TierSamples[1],
+		AvgUtilFront:            resN.AvgUtil[0],
+		AvgUtilDB:               resN.AvgUtil[1],
+		CompletedByType:         resN.CompletedByType,
+		Completed:               resN.Completed,
+		FrontContentionFraction: resN.ContentionFraction[0],
+		DBContentionFraction:    resN.ContentionFraction[1],
 	}
-	res.FrontSamples = fs
-	res.DBSamples = ds
-	res.AvgUtilFront = stats.Mean(fs.Utilization)
-	res.AvgUtilDB = stats.Mean(ds.Utilization)
 	if cfg.TrackSeries {
-		res.FrontUtil1s = frontU.Values()
-		res.DBUtil1s = dbU.Values()
-		res.DBQueueLen1s = dbQueueRec.Values()
-		for t := 0; t < NumTransactions; t++ {
-			res.InSystem1s[t] = inSysRecs[t].Values()
-		}
-	}
-	res.DBContentionFraction = dbEnv.contendedFraction(cfg.Duration)
-	res.FrontContentionFraction = frontEnv.contendedFraction(cfg.Duration)
-	if res.Completed == 0 {
-		return nil, errors.New("tpcw: no transactions completed in measurement window")
+		res.FrontUtil1s = resN.TierUtil1s[0]
+		res.DBUtil1s = resN.TierUtil1s[1]
+		res.DBQueueLen1s = resN.TierQueueLen1s[1]
+		res.InSystem1s = resN.InSystem1s
 	}
 	return res, nil
 }
-
-// submit starts a new transaction for eb.
-func submit(sim *des.Sim, eb *emulatedBrowser, cbmg *CBMG, navSrc *xrand.Source,
-	front *des.PSStation, frontEnv *contentionEnv,
-	profiles *[NumTransactions]Profile, frontDist *[NumTransactions]xrand.Hyper2,
-	demandSrc, contSrc *xrand.Source, inSystem *[NumTransactions]int) {
-
-	next := cbmg.Next(eb.current, navSrc)
-	eb.current = next
-	st := &transactionState{eb: eb, txType: next, submittedAt: sim.Now()}
-	inSystem[next]++
-	frontEnv.maybeTrigger(1)
-	front.Arrive(&des.Job{
-		Class:  int(next),
-		Demand: frontDist[next].Sample(demandSrc),
-		Ctx:    st,
-	})
-}
-
-// issueQuery sends the next DB query of a transaction.
-func issueQuery(sim *des.Sim, db *des.PSStation, dbEnv *contentionEnv, st *transactionState,
-	profiles *[NumTransactions]Profile, queryDist *[NumTransactions]xrand.Hyper2,
-	demandSrc, contSrc *xrand.Source) {
-	dbEnv.maybeTrigger(profiles[st.txType].ContentionWeight)
-	db.Arrive(&des.Job{
-		Class:  int(st.txType),
-		Demand: queryDist[st.txType].Sample(demandSrc),
-		Ctx:    st,
-	})
-}
-
-// dbTransactionView adapts the DB station for monitoring: utilization
-// comes from the station, completions are transaction-level (one count
-// when the final query of a transaction finishes), so the inferred mean
-// DB service time is per transaction — the quantity the queueing model
-// uses.
-type dbTransactionView struct {
-	station        *des.PSStation
-	txnCompletions *int64
-}
-
-func (v *dbTransactionView) Arrive(*des.Job)    { panic("tpcw: monitoring view is read-only") }
-func (v *dbTransactionView) QueueLen() int      { return v.station.QueueLen() }
-func (v *dbTransactionView) BusyTime() float64  { return v.station.BusyTime() }
-func (v *dbTransactionView) Completions() int64 { return *v.txnCompletions }

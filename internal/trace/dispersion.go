@@ -139,6 +139,12 @@ func (u UtilizationSamples) EstimateIndexOfDispersion(opts DispersionOptions) (E
 			res.WindowSeconds = lastWindow
 			return res, nil
 		}
+		// busyWindowDispersion signals an undefined statistic with NaN
+		// (all windows empty of completions, or too few windows for a
+		// variance). Returning it silently would hand callers I = NaN.
+		if math.IsNaN(y) {
+			return EstimateResult{}, ErrDegenerateDispersion
+		}
 		res.Evaluations = append(res.Evaluations, y)
 		lastY, lastWindow = y, t
 		if !math.IsNaN(prevY) && math.Abs(1-y/prevY) <= opts.Tol {
@@ -155,6 +161,13 @@ func (u UtilizationSamples) EstimateIndexOfDispersion(opts DispersionOptions) (E
 		}
 	}
 }
+
+// ErrDegenerateDispersion reports that the busy-window statistic Y(t) of
+// the Figure 2 algorithm is undefined for the given measurement: the
+// counting windows hold no completions (zero mean) or there are too few
+// windows for a variance, so no index of dispersion can be estimated.
+var ErrDegenerateDispersion = errors.New(
+	"trace: index of dispersion undefined: busy windows carry no completion counts")
 
 // busyWindowDispersion evaluates Y(t) = Var(N_t)/E[N_t] where N_t is the
 // number of completions inside a window of busy time t. Windows start at

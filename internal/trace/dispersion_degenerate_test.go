@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// A busy server that never completes anything makes the busy-window
+// statistic Y(t) = Var/Mean undefined (zero mean). The estimator used to
+// hand back I = NaN without error; it must now return the typed error.
+func TestEstimateIndexOfDispersionZeroCompletions(t *testing.T) {
+	n := 300
+	u := UtilizationSamples{
+		PeriodSeconds: 1,
+		Utilization:   make([]float64, n),
+		Completions:   make([]float64, n),
+	}
+	for i := range u.Utilization {
+		u.Utilization[i] = 0.5
+	}
+	res, err := u.EstimateIndexOfDispersion(DispersionOptions{})
+	if err == nil {
+		t.Fatalf("expected error, got I = %v (NaN escape: %v)", res.I, math.IsNaN(res.I))
+	}
+	if !errors.Is(err, ErrDegenerateDispersion) {
+		t.Fatalf("error = %v, want ErrDegenerateDispersion", err)
+	}
+}
+
+// Sparse-but-nonzero completions must still estimate, not error.
+func TestEstimateIndexOfDispersionSparseCompletions(t *testing.T) {
+	n := 400
+	u := UtilizationSamples{
+		PeriodSeconds: 1,
+		Utilization:   make([]float64, n),
+		Completions:   make([]float64, n),
+	}
+	for i := range u.Utilization {
+		u.Utilization[i] = 0.4
+		if i%4 == 0 {
+			u.Completions[i] = 2
+		}
+	}
+	res, err := u.EstimateIndexOfDispersion(DispersionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.I) || res.I <= 0 {
+		t.Fatalf("I = %v, want positive finite", res.I)
+	}
+}

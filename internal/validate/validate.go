@@ -1,0 +1,158 @@
+// Package validate closes the paper's measure → characterize → fit →
+// model loop against the simulated testbed, for an arbitrary number of
+// tiers: it runs replicated N-tier simulations, feeds the simulated
+// per-tier monitoring streams through the Section 4.1 estimation pipeline
+// (inference.CharacterizeAll) into the exact K-station MAP network solver,
+// and reports simulation-vs-model throughput and utilization errors — the
+// paper's Figure-style cross-validation, generalized from the two-tier
+// testbed to any K.
+package validate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/stats"
+	"repro/internal/tpcw"
+)
+
+// Options tunes a cross-validation run.
+type Options struct {
+	// Replicas is the number of independently seeded simulation replicas
+	// (default 3). More replicas tighten the confidence intervals the
+	// model is judged against.
+	Replicas int
+	// Workers caps the goroutines running replicas (GOMAXPROCS when <= 0).
+	Workers int
+	// ThinkTime overrides the model's think time Z_qn; zero uses the
+	// simulation's think time (the standard closed-loop comparison).
+	ThinkTime float64
+	// Planner tunes the estimation, fitting, and solver stages.
+	Planner core.PlannerOptions
+}
+
+// TierAccuracy compares one tier's simulated and modeled utilization.
+type TierAccuracy struct {
+	// Name labels the tier.
+	Name string
+	// SimUtil is the simulated mean utilization across replicas.
+	SimUtil stats.Interval
+	// MAPUtil and MVAUtil are the modeled busy probabilities.
+	MAPUtil, MVAUtil float64
+	// MAPError and MVAError are signed absolute errors in utilization
+	// points (model minus simulation mean).
+	MAPError, MVAError float64
+	// Characterization is the (mean, I, p95) description inferred from
+	// the simulated monitoring stream — the model's only input.
+	Characterization inference.Characterization
+}
+
+// Report is the outcome of one cross-validation: simulated ground truth
+// with confidence intervals, model predictions, and their errors.
+type Report struct {
+	// EBs and ThinkTime identify the operating point; Replicas the number
+	// of simulation replicas behind the ground truth.
+	EBs       int
+	ThinkTime float64
+	Replicas  int
+
+	// SimThroughput is the simulated throughput across replicas.
+	SimThroughput stats.Interval
+	// MAPThroughput and MVAThroughput are the model predictions.
+	MAPThroughput, MVAThroughput float64
+	// MAPError and MVAError are relative throughput errors against the
+	// simulated mean (signed; positive means the model over-predicts).
+	MAPError, MVAError float64
+	// MAPWithinCI reports whether the MAP prediction falls inside the
+	// simulation's 95% confidence interval.
+	MAPWithinCI bool
+
+	// Tiers holds the per-tier utilization comparison.
+	Tiers []TierAccuracy
+	// States is the size of the CTMC the MAP model solved.
+	States int
+}
+
+// CrossValidate runs the closed loop at cfg's operating point: simulate
+// (replicated), characterize each tier from the simulated samples, fit a
+// MAP(2) per tier, solve the K-station MAP network and the MVA baseline
+// at cfg.EBs, and compare against the simulation.
+func CrossValidate(cfg tpcw.ConfigN, opts Options) (*Report, error) {
+	if opts.Replicas == 0 {
+		opts.Replicas = 3
+	}
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("validate: replicas %d must be >= 1", opts.Replicas)
+	}
+	cfg = cfg.WithDefaults()
+	rr, err := tpcw.RunReplicas(cfg, opts.Replicas, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("validate: simulation: %w", err)
+	}
+	return compare(cfg, rr, opts)
+}
+
+// CrossValidateReplicas is CrossValidate starting from an already
+// completed replica set (e.g., to evaluate several model variants against
+// one simulation).
+func CrossValidateReplicas(rr *tpcw.ReplicaResult, opts Options) (*Report, error) {
+	if rr == nil || len(rr.Results) == 0 {
+		return nil, errors.New("validate: no replica results")
+	}
+	return compare(rr.Config, rr, opts)
+}
+
+func compare(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts Options) (*Report, error) {
+	z := opts.ThinkTime
+	if z == 0 {
+		z = cfg.ThinkTime
+	}
+	chars, err := inference.CharacterizeAll(rr.TierSamples, opts.Planner.Inference)
+	if err != nil {
+		return nil, fmt.Errorf("validate: characterization: %w", err)
+	}
+	popts := opts.Planner
+	if len(popts.TierNames) == 0 {
+		popts.TierNames = rr.TierNames
+	}
+	plan, err := core.BuildPlanNFromCharacterizations(chars, z, popts)
+	if err != nil {
+		return nil, fmt.Errorf("validate: plan: %w", err)
+	}
+	preds, err := plan.Predict([]int{cfg.EBs})
+	if err != nil {
+		return nil, fmt.Errorf("validate: model solve: %w", err)
+	}
+	pred := preds[0]
+
+	rep := &Report{
+		EBs:           cfg.EBs,
+		ThinkTime:     z,
+		Replicas:      len(rr.Results),
+		SimThroughput: rr.Throughput,
+		MAPThroughput: pred.MAP.Throughput,
+		MVAThroughput: pred.MVA.Throughput,
+		States:        pred.MAP.States,
+	}
+	if rr.Throughput.Mean > 0 {
+		rep.MAPError = (pred.MAP.Throughput - rr.Throughput.Mean) / rr.Throughput.Mean
+		rep.MVAError = (pred.MVA.Throughput - rr.Throughput.Mean) / rr.Throughput.Mean
+	}
+	rep.MAPWithinCI = rr.Throughput.Contains(pred.MAP.Throughput)
+	rep.Tiers = make([]TierAccuracy, len(rr.TierNames))
+	for i, name := range rr.TierNames {
+		ta := TierAccuracy{
+			Name:             name,
+			SimUtil:          rr.AvgUtil[i],
+			MAPUtil:          pred.MAP.Utils[i],
+			MVAUtil:          pred.MVA.Utilizations[i],
+			Characterization: chars[i],
+		}
+		ta.MAPError = ta.MAPUtil - ta.SimUtil.Mean
+		ta.MVAError = ta.MVAUtil - ta.SimUtil.Mean
+		rep.Tiers[i] = ta
+	}
+	return rep, nil
+}

@@ -36,6 +36,11 @@ func (s *Source) Split() *Source {
 // Float64 returns a uniform variate in [0,1).
 func (s *Source) Float64() float64 { return s.rng.Float64() }
 
+// Int63 returns a uniform non-negative 63-bit integer. Its primary use is
+// deriving independent child seeds (e.g., one per simulation replica) from
+// a single root seed.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
 // Intn returns a uniform integer in [0,n).
 func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
 
