@@ -5,12 +5,17 @@
 
 GO ?= go
 
-.PHONY: check build test vet race xvalidate bench
+.PHONY: check build test vet fmt-check race xvalidate scenario bench
 
-check: vet build test
+check: vet fmt-check build test
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) when any file is not gofmt-
+# clean; CI runs the same check.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -31,6 +36,12 @@ race:
 # tolerance (see internal/validate).
 xvalidate:
 	$(GO) test -run 'CrossValidation' -v ./internal/validate/
+
+# scenario is the declarative-pipeline smoke check: the committed example
+# scenario runs end to end through cmd/burstlab (simulate, characterize,
+# fit, solve, cross-validate) and prints its report.
+scenario:
+	$(GO) run ./cmd/burstlab -scenario examples/scenariofile/scenario.json
 
 # bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3 solves,
 # the warm/cold population sweep, and the generator-assembly microbench —

@@ -22,27 +22,43 @@
 //     transactions, Best-Seller-triggered database contention) acts as
 //     the measured system.
 //
+// The primary API is declarative: describe the whole experiment — tiers,
+// workload, population sweep, solver selection — as a Scenario and
+// execute it with Run, which returns a unified, JSON-serializable
+// Report:
+//
+//	sc := burst.Scenario{
+//		ThinkTime:   0.5,
+//		Populations: []int{25, 50, 100, 150},
+//		Tiers: []burst.TierSpec{
+//			{Name: "front", Samples: &frontSamples},
+//			{Name: "db", Samples: &dbSamples},
+//		},
+//		Solvers: []burst.SolverKind{burst.SolverMAP, burst.SolverMVA},
+//	}
+//	rep, err := burst.Run(ctx, sc)
+//	// rep.Results[i].MAP.Utils, .QueueLens, .QueueDists hold one entry
+//	// per tier at population rep.Results[i].Population.
+//
+// Scenarios round-trip through JSON (ParseScenario / Scenario.JSON), so
+// the same experiment runs from a committed scenario file via
+// cmd/burstlab. All long-running stages accept context cancellation and
+// report progress through Scenario.OnProgress.
+//
 // The modeling stack is N-tier: a closed tandem chain of K MAP-service
 // stations (front, app tiers, database, ...) plus the think-time delay
 // station, solved exactly over the CTMC on states
 // (n_1..n_K, phase_1..phase_K). The paper's two-tier front+DB model is
-// the K=2 special case and keeps its original API (NewPlan,
-// MAPNetworkModel, SolveMVA) as thin wrappers over the N-tier core
-// (NewPlanN, MAPNetworkModelN, SolveMAPNetworkN, SolveMVAN).
+// the K=2 special case. Alongside Run, the canonical imperative surface
+// is context-aware and N-tier with no suffix: SolveNetwork,
+// SolveNetworkSweep, Simulate, SimulateReplicas, CrossValidate. The
+// historical function-per-step families — two-tier (NewPlan,
+// SolveMAPNetwork, SimulateTPCW, ...) and *N-suffixed (NewPlanN,
+// SolveMAPNetworkN, ...) — remain as deprecated thin wrappers over the
+// same machinery.
 //
-// Two-tier quick start:
-//
-//	plan, err := burst.NewPlan(frontSamples, dbSamples, 0.5, burst.PlannerOptions{})
-//	preds, err := plan.Predict([]int{25, 50, 100, 150})
-//
-// N-tier quick start (front + app + DB):
-//
-//	plan, err := burst.NewPlanN([]burst.UtilizationSamples{front, app, db}, 0.5, burst.PlannerOptions{})
-//	preds, err := plan.Predict([]int{25, 50, 100, 150})
-//	// preds[i].MAP.Utils, .QueueLens, .QueueDists hold one entry per tier.
-//
-// See the examples/ directory for complete programs (examples/threetier
-// for the N-tier path).
+// See the examples/ directory for complete programs
+// (examples/scenariofile for the declarative path).
 package burst
 
 import (
@@ -202,12 +218,19 @@ func FitMAP2(mean, indexOfDispersion, p95 float64, opts FitOptions) (FitResult, 
 
 // NewPlan builds the paper's capacity-planning model from front and DB
 // monitoring samples, to be evaluated at think time thinkTime.
+//
+// Deprecated: declare a two-tier Scenario (TierSpec.Samples per tier)
+// and use Run, which returns the same MAP and MVA predictions in a
+// unified Report.
 func NewPlan(front, db UtilizationSamples, thinkTime float64, opts PlannerOptions) (*Plan, error) {
 	return core.BuildPlan(front, db, thinkTime, opts)
 }
 
 // NewPlanFromCharacterizations builds a plan from pre-computed
 // characterizations (useful when measurements were processed elsewhere).
+//
+// Deprecated: declare a two-tier Scenario with explicit TierSpec
+// characterizations (Mean, IndexOfDispersion, P95) and use Run.
 func NewPlanFromCharacterizations(front, db Characterization, thinkTime float64, opts PlannerOptions) (*Plan, error) {
 	return core.BuildPlanFromCharacterizations(front, db, thinkTime, opts)
 }
@@ -216,24 +239,34 @@ func NewPlanFromCharacterizations(front, db Characterization, thinkTime float64,
 // monitoring samples per tier (in visit order: front first, database
 // last), to be evaluated at think time thinkTime. Tier labels come from
 // opts.TierNames when set.
+//
+// Deprecated: declare a Scenario (one TierSpec per tier) and use Run.
 func NewPlanN(tiers []UtilizationSamples, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
 	return core.BuildPlanN(tiers, thinkTime, opts)
 }
 
 // NewPlanNFromCharacterizations builds an N-tier plan from pre-computed
 // per-tier characterizations.
+//
+// Deprecated: declare a Scenario with explicit TierSpec
+// characterizations and use Run.
 func NewPlanNFromCharacterizations(tiers []Characterization, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
 	return core.BuildPlanNFromCharacterizations(tiers, thinkTime, opts)
 }
 
 // SolveMAPNetwork solves the closed two-station MAP queueing network
 // exactly.
+//
+// Deprecated: use SolveNetwork with a K=2 MAPNetworkModelN (see
+// MAPNetworkModel.Network for the conversion), or run a Scenario.
 func SolveMAPNetwork(m MAPNetworkModel, opts SolverOptions) (MAPNetworkMetrics, error) {
 	return mapqn.Solve(m, opts)
 }
 
 // SolveMAPNetworkN solves a closed K-station MAP queueing network
 // exactly, returning per-station metrics.
+//
+// Deprecated: use SolveNetwork, which adds context cancellation.
 func SolveMAPNetworkN(m MAPNetworkModelN, opts SolverOptions) (MAPNetworkMetricsN, error) {
 	return mapqn.SolveNetwork(m, opts)
 }
@@ -243,24 +276,35 @@ func SolveMAPNetworkN(m MAPNetworkModelN, opts SolverOptions) (MAPNetworkMetrics
 // the first is seeded with the previous population's stationary vector
 // embedded into the larger state space, which typically converges in a
 // fraction of the cold-start iterations while meeting the same residual
-// tolerance. Plan predictions (NewPlanN(...).Predict) use this path
-// automatically.
+// tolerance.
+//
+// Deprecated: use SolveNetworkSweep, which adds context cancellation
+// and per-population progress, or run a Scenario (Run sweeps
+// warm-started automatically).
 func SolveMAPNetworkSweepN(stations []Station, thinkTime float64, customers []int, opts SolverOptions) ([]MAPNetworkMetricsN, error) {
 	return mapqn.SolveNetworkSweep(stations, thinkTime, customers, opts)
 }
 
 // SolveMVA solves the classical MVA baseline at population n.
+//
+// Deprecated: run a Scenario with SolverMVA, which evaluates the
+// baseline across the whole population sweep.
 func SolveMVA(frontDemand, dbDemand, thinkTime float64, n int) (MVAResult, error) {
 	return mva.Solve(mva.Model(frontDemand, dbDemand, thinkTime), n)
 }
 
 // SolveMVAN solves the K-station MVA baseline (one demand per tier) at
 // population n.
+//
+// Deprecated: run a Scenario with SolverMVA.
 func SolveMVAN(demands []float64, thinkTime float64, n int) (MVAResult, error) {
 	return mva.Solve(mva.ModelN(demands, nil, thinkTime), n)
 }
 
 // SimulateTPCW runs the TPC-W testbed simulator.
+//
+// Deprecated: use Simulate with a TPCWConfigN (DefaultTPCWTiers builds
+// the two-tier spec), or run a Scenario with SolverSim.
 func SimulateTPCW(cfg TPCWConfig) (*TPCWResult, error) {
 	return tpcw.Run(cfg)
 }
@@ -268,6 +312,8 @@ func SimulateTPCW(cfg TPCWConfig) (*TPCWResult, error) {
 // SimulateTPCWN runs the N-tier TPC-W testbed simulator: a routed
 // multi-station pipeline where each tier is a processor-sharing server
 // with its own Markov-modulated contention environment.
+//
+// Deprecated: use Simulate, which adds context cancellation.
 func SimulateTPCWN(cfg TPCWConfigN) (*TPCWResultN, error) {
 	return tpcw.RunN(cfg)
 }
@@ -275,6 +321,9 @@ func SimulateTPCWN(cfg TPCWConfigN) (*TPCWResultN, error) {
 // SimulateTPCWReplicas runs replicas independently seeded copies of an
 // N-tier simulation across goroutines (workers <= 0 uses GOMAXPROCS) and
 // returns mean ± 95% confidence intervals plus pooled per-tier samples.
+//
+// Deprecated: use SimulateReplicas, which adds context cancellation and
+// replica progress, or run a Scenario with SolverSim.
 func SimulateTPCWReplicas(cfg TPCWConfigN, replicas, workers int) (*TPCWReplicaResult, error) {
 	return tpcw.RunReplicas(cfg, replicas, workers)
 }
@@ -291,6 +340,10 @@ func DefaultTPCWTiers(mix TPCWMix, k int) ([]TPCWTierConfig, error) {
 // (replicated), characterizes every tier from the simulated coarse
 // samples, solves the exact K-station MAP network and the MVA baseline at
 // the simulated population, and reports the model errors.
+//
+// Deprecated: use CrossValidate, which adds context cancellation, or
+// run a Scenario with SolverCrossValidate to sweep whole population
+// ranges.
 func CrossValidateTPCW(cfg TPCWConfigN, opts ValidationOptions) (*ValidationReport, error) {
 	return validate.CrossValidate(cfg, opts)
 }
@@ -325,6 +378,8 @@ func HurstParameter(t Trace) (float64, error) {
 // ModelBounds brackets the MAP network's throughput with two O(N)
 // product-form evaluations — usable at populations far beyond exact CTMC
 // reach (the paper's Section 4.2 scenario of ~1200 EBs at Z = 7 s).
+//
+// Deprecated: run a Scenario with SolverBounds.
 func ModelBounds(m MAPNetworkModel) (MAPNetworkBounds, error) {
 	return mapqn.Bounds(m)
 }
@@ -335,6 +390,8 @@ type MAPNetworkBounds = mapqn.BoundsResult
 // ModelBoundsN brackets an N-tier MAP network's throughput with two
 // O(N*K) product-form evaluations — usable at populations far beyond
 // exact CTMC reach.
+//
+// Deprecated: run a Scenario with SolverBounds.
 func ModelBoundsN(m MAPNetworkModelN) (MAPNetworkBoundsN, error) {
 	return mapqn.NetworkBounds(m)
 }

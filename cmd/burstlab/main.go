@@ -1,0 +1,171 @@
+// Command burstlab executes a declarative scenario file end to end: it
+// loads a Scenario (JSON), runs it through the library's single Run
+// entry point — characterize, fit, solve, simulate, cross-validate as
+// the scenario's solver selection demands — and prints the unified
+// Report. It is the one CLI surface over the whole pipeline; capplan and
+// tpcwsim are thin scenario builders over the same machinery.
+//
+// Usage:
+//
+//	burstlab -scenario scenario.json
+//	burstlab -scenario scenario.json -out report.json -quiet
+//	burstlab -scenario scenario.json -timeout 2m
+//
+// Interrupting the run (Ctrl-C / SIGTERM) cancels it cooperatively: the
+// CTMC sweep or simulation in flight stops within one step and the
+// command exits with an error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	burst "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "burstlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scenarioPath := flag.String("scenario", "", "scenario JSON file to run (required)")
+	outPath := flag.String("out", "", "write the full JSON report to this file ('-' for stdout)")
+	quiet := flag.Bool("quiet", false, "suppress the human-readable summary and progress")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		return fmt.Errorf("-scenario is required (see examples/scenariofile/scenario.json)")
+	}
+	sc, err := burst.LoadScenario(*scenarioPath)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if !*quiet {
+		sc.OnProgress = func(ev burst.ProgressEvent) {
+			if ev.Population != 0 {
+				fmt.Fprintf(os.Stderr, "burstlab: %-12s N=%-5d %d/%d\n", ev.Stage, ev.Population, ev.Step, ev.Total)
+			} else {
+				fmt.Fprintf(os.Stderr, "burstlab: %-12s %d/%d\n", ev.Stage, ev.Step, ev.Total)
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, err := burst.Run(ctx, sc)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		printSummary(rep, time.Since(start))
+	}
+	if *outPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if *outPath == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "burstlab: report written to %s\n", *outPath)
+	}
+	return nil
+}
+
+// printSummary renders the report as one table per concern: tier model
+// inputs, then a per-population row with whichever columns the
+// scenario's solvers produced.
+func printSummary(rep *burst.Report, elapsed time.Duration) {
+	sc := rep.Scenario
+	name := sc.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Printf("%s: Z=%.2fs populations=%v solvers=%v (%.1fs)\n",
+		name, sc.ThinkTime, sc.Populations, sc.Solvers, elapsed.Seconds())
+
+	for _, tier := range rep.Tiers {
+		c := tier.Characterization
+		fmt.Printf("tier %-8s S=%.6gs I=%.4g p95=%.6gs", tier.Name, c.MeanServiceTime, c.IndexOfDispersion, c.P95ServiceTime)
+		if tier.FitSCV != 0 {
+			fmt.Printf("  (fit: SCV=%.3g gamma=%.3g)", tier.FitSCV, tier.FitGamma)
+		}
+		fmt.Println()
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "N"
+	first := rep.Results[0]
+	if first.MAP != nil {
+		header += "\tMAP X\tMAP R(s)"
+	}
+	if first.MVA != nil {
+		header += "\tMVA X\tMVA R(s)"
+	}
+	if first.Bounds != nil {
+		header += "\tX lower\tX upper"
+	}
+	if first.Sim != nil {
+		header += "\tsim X\tsim R(s)"
+	}
+	if first.Validation != nil {
+		header += "\tMAP err\tMVA err"
+	}
+	fmt.Fprintln(w, header)
+	for _, r := range rep.Results {
+		row := fmt.Sprintf("%d", r.Population)
+		if r.MAP != nil {
+			row += fmt.Sprintf("\t%.2f\t%.4f", r.MAP.Throughput, r.MAP.ResponseTime)
+		}
+		if r.MVA != nil {
+			row += fmt.Sprintf("\t%.2f\t%.4f", r.MVA.Throughput, r.MVA.ResponseTime)
+		}
+		if r.Bounds != nil {
+			row += fmt.Sprintf("\t%.2f\t%.2f", r.Bounds.LowerX, r.Bounds.UpperX)
+		}
+		if r.Sim != nil {
+			row += fmt.Sprintf("\t%.2f±%.2f\t%.4f", r.Sim.Throughput.Mean, r.Sim.Throughput.HalfWidth, r.Sim.MeanResponse.Mean)
+		}
+		if r.Validation != nil {
+			row += fmt.Sprintf("\t%+.1f%%\t%+.1f%%", 100*r.Validation.MAPError, 100*r.Validation.MVAError)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+
+	// Per-tier validation detail, when the loop was closed.
+	for _, r := range rep.Results {
+		if r.Validation == nil {
+			continue
+		}
+		fmt.Printf("validation at N=%d (CTMC states %d, MAP within sim CI: %v):\n",
+			r.Population, r.Validation.States, r.Validation.MAPWithinCI)
+		for _, tier := range r.Validation.Tiers {
+			fmt.Printf("  tier %-8s U sim=%.3f±%.3f  MAP=%.3f (%+.3f)  MVA=%.3f (%+.3f)  I=%.1f\n",
+				tier.Name, tier.SimUtil.Mean, tier.SimUtil.HalfWidth,
+				tier.MAPUtil, tier.MAPError, tier.MVAUtil, tier.MVAError, tier.IndexOfDispersion)
+		}
+	}
+}

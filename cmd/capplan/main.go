@@ -5,6 +5,11 @@
 // over a range of emulated-browser counts with both the burstiness-aware
 // MAP model and the MVA baseline.
 //
+// It is a thin scenario builder: the flags assemble a declarative
+// burst.Scenario (one sampled TierSpec per CSV, a population sweep, the
+// map+mva solvers) and burst.Run executes it — the same pipeline a
+// committed scenario file runs through cmd/burstlab.
+//
 // Two-tier usage (the paper's front + DB setup):
 //
 //	capplan -front front.csv -db db.csv -period 5 -z 0.5 -ebs 25,50,75,100,150
@@ -16,13 +21,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
+	burst "repro"
 	"repro/internal/core"
 	"repro/internal/trace"
 )
@@ -42,16 +51,13 @@ func run() error {
 	period := flag.Float64("period", 5, "sampling period of the CSVs in seconds")
 	z := flag.Float64("z", 0.5, "think time Z_qn for the what-if model")
 	ebsList := flag.String("ebs", "25,50,75,100,150", "comma-separated EB counts to evaluate")
+	withBounds := flag.Bool("bounds", false, "also bracket throughput with product-form bounds")
 	flag.Parse()
 
 	var paths []string
 	switch {
 	case *tiersList != "":
-		for _, p := range strings.Split(*tiersList, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				paths = append(paths, p)
-			}
-		}
+		paths = core.ParseNameList(*tiersList)
 		if len(paths) == 0 {
 			return fmt.Errorf("-tiers lists no files")
 		}
@@ -61,54 +67,61 @@ func run() error {
 		return fmt.Errorf("either -tiers or both -front and -db CSV files are required")
 	}
 
-	opts := core.PlannerOptions{}
-	if *namesList != "" {
-		for _, n := range strings.Split(*namesList, ",") {
-			opts.TierNames = append(opts.TierNames, strings.TrimSpace(n))
-		}
+	solvers := []burst.SolverKind{burst.SolverMAP, burst.SolverMVA}
+	if *withBounds {
+		solvers = append(solvers, burst.SolverBounds)
 	}
-
-	samples := make([]trace.UtilizationSamples, len(paths))
+	b := burst.NewScenarioBuilder().
+		Name("capplan").
+		ThinkTime(*z).
+		PopulationList(*ebsList).
+		TierNames(*namesList).
+		Solvers(solvers...)
 	for i, p := range paths {
 		s, err := readCSV(p, *period)
 		if err != nil {
 			return fmt.Errorf("tier %d (%s): %w", i, p, err)
 		}
-		samples[i] = s
+		b.SampleTier("", s)
 	}
-	populations, err := parseEBs(*ebsList)
+	sc, err := b.Build()
 	if err != nil {
 		return err
 	}
 
-	plan, err := core.BuildPlanN(samples, *z, opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := burst.Run(ctx, sc)
 	if err != nil {
 		return err
 	}
-	for _, tier := range plan.Tiers {
+
+	for _, tier := range rep.Tiers {
+		c := tier.Characterization
 		fmt.Printf("%-8s S=%.6gs I=%.4g p95=%.6gs (fit: SCV=%.3g gamma=%.3g)\n",
-			tier.Name+":", tier.Characterization.MeanServiceTime,
-			tier.Characterization.IndexOfDispersion, tier.Characterization.P95ServiceTime,
-			tier.Fit.SCV, tier.Fit.Gamma)
+			tier.Name+":", c.MeanServiceTime, c.IndexOfDispersion, c.P95ServiceTime,
+			tier.FitSCV, tier.FitGamma)
 	}
 
-	preds, err := plan.Predict(populations)
-	if err != nil {
-		return err
-	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	header := "EBs\tMAP TPUT\tMAP R(s)"
-	for _, tier := range plan.Tiers {
+	for _, tier := range rep.Tiers {
 		header += "\tMAP U_" + tier.Name
 	}
 	header += "\tMVA TPUT\tMVA R(s)"
+	if *withBounds {
+		header += "\tX lower\tX upper"
+	}
 	fmt.Fprintln(w, header)
-	for _, p := range preds {
-		row := fmt.Sprintf("%d\t%.1f\t%.4f", p.EBs, p.MAP.Throughput, p.MAP.ResponseTime)
-		for _, u := range p.MAP.Utils {
+	for _, r := range rep.Results {
+		row := fmt.Sprintf("%d\t%.1f\t%.4f", r.Population, r.MAP.Throughput, r.MAP.ResponseTime)
+		for _, u := range r.MAP.Utils {
 			row += fmt.Sprintf("\t%.2f", u)
 		}
-		row += fmt.Sprintf("\t%.1f\t%.4f", p.MVA.Throughput, p.MVA.ResponseTime)
+		row += fmt.Sprintf("\t%.1f\t%.4f", r.MVA.Throughput, r.MVA.ResponseTime)
+		if r.Bounds != nil {
+			row += fmt.Sprintf("\t%.1f\t%.1f", r.Bounds.LowerX, r.Bounds.UpperX)
+		}
 		fmt.Fprintln(w, row)
 	}
 	return w.Flush()
@@ -146,17 +159,4 @@ func readCSV(path string, period float64) (trace.UtilizationSamples, error) {
 		u.Completions = append(u.Completions, compl)
 	}
 	return u, sc.Err()
-}
-
-func parseEBs(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad EB count %q: %w", p, err)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }

@@ -6,6 +6,11 @@
 // the estimation pipeline into the exact K-station MAP network solver and
 // the predictions are compared back against the simulation.
 //
+// It is a thin scenario builder: the flags assemble a declarative
+// burst.Scenario (a WorkloadSpec plus the sim or crossvalidate solver)
+// and burst.Run executes it — the same pipeline a committed scenario
+// file runs through cmd/burstlab. Ctrl-C cancels the run cooperatively.
+//
 // Usage:
 //
 //	tpcwsim -mix browsing -ebs 100 -duration 1800
@@ -15,13 +20,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/tpcw"
+	burst "repro"
+	"repro/internal/core"
 	"repro/internal/trace"
-	"repro/internal/validate"
 )
 
 func main() {
@@ -33,11 +41,11 @@ func main() {
 
 func run() error {
 	mixName := flag.String("mix", "browsing", "transaction mix: browsing, shopping or ordering")
-	ebs := flag.Int("ebs", 100, "number of emulated browsers")
+	ebs := flag.String("ebs", "100", "comma-separated emulated-browser counts to simulate")
 	z := flag.Float64("z", 0.5, "mean think time in seconds")
 	duration := flag.Float64("duration", 1800, "simulated seconds")
-	warmup := flag.Float64("warmup", 120, "warm-up seconds excluded from analysis (negative for exactly zero)")
-	cooldown := flag.Float64("cooldown", 60, "cool-down seconds excluded from analysis (negative for exactly zero)")
+	warmup := flag.Float64("warmup", 120, "warm-up seconds excluded from analysis (0 or negative for exactly zero)")
+	cooldown := flag.Float64("cooldown", 60, "cool-down seconds excluded from analysis (0 or negative for exactly zero)")
 	seed := flag.Int64("seed", 1, "random seed")
 	tiers := flag.Int("tiers", 2, "number of service tiers (front, app..., db)")
 	replicas := flag.Int("replicas", 1, "independently seeded replicas to run (with -validate, unset means 3)")
@@ -46,88 +54,64 @@ func run() error {
 	csvTier := flag.String("csv", "", "emit monitoring CSV (utilization,completions) for the named tier (front, app..., db)")
 	flag.Parse()
 
+	if *doValidate && *csvTier != "" {
+		return fmt.Errorf("-csv cannot be combined with -validate (the validation report is not CSV)")
+	}
 	if *replicas < 1 {
 		return fmt.Errorf("replicas %d must be >= 1", *replicas)
 	}
-	var mix tpcw.Mix
-	switch *mixName {
-	case "browsing":
-		mix = tpcw.BrowsingMix()
-	case "shopping":
-		mix = tpcw.ShoppingMix()
-	case "ordering":
-		mix = tpcw.OrderingMix()
-	default:
-		return fmt.Errorf("unknown mix %q", *mixName)
-	}
-
-	tierCfgs, err := tpcw.DefaultTiers(mix, *tiers)
+	populations, err := core.ParseIntList(*ebs)
 	if err != nil {
-		return err
+		return fmt.Errorf("-ebs: %w", err)
 	}
-	// On the CLI an explicit -warmup 0 / -cooldown 0 means "analyze the
-	// whole run", not "use the library default" — map it to the sentinel.
-	if *warmup == 0 && flagSet("warmup") {
-		*warmup = tpcw.ZeroWindow
-	}
-	if *cooldown == 0 && flagSet("cooldown") {
-		*cooldown = tpcw.ZeroWindow
-	}
-	cfg := tpcw.ConfigN{
-		Mix: mix, Tiers: tierCfgs,
-		EBs: *ebs, ThinkTime: *z, Seed: *seed,
-		Duration: *duration, Warmup: *warmup, Cooldown: *cooldown,
+	if *csvTier != "" && len(populations) != 1 {
+		return fmt.Errorf("-csv needs a single -ebs value (got %d populations)", len(populations))
 	}
 
+	b := burst.NewScenarioBuilder().
+		Name("tpcwsim").
+		ThinkTime(*z).
+		Populations(populations...).
+		Workload(*mixName, *tiers).
+		Duration(*duration).
+		Window(*warmup, flagSet("warmup"), *cooldown, flagSet("cooldown")).
+		Seed(*seed).
+		Workers(*workers).
+		KeepSamples(*csvTier != "")
 	if *doValidate {
-		if *csvTier != "" {
-			return fmt.Errorf("-csv cannot be combined with -validate (the validation report is not CSV)")
-		}
+		b.Solvers(burst.SolverCrossValidate)
 		// A 1-replica validation carries no confidence interval; unless
-		// the user asked for a replica count, let the library default
+		// the user asked for a replica count, let the scenario default
 		// (3) apply so the report's ± columns mean something.
-		reps := *replicas
-		if !flagSet("replicas") {
-			reps = 0
+		if flagSet("replicas") {
+			b.Replicas(*replicas)
 		}
-		rep, err := validate.CrossValidate(cfg, validate.Options{Replicas: reps, Workers: *workers})
-		if err != nil {
-			return err
-		}
-		printValidation(rep)
-		return nil
+	} else {
+		b.Solvers(burst.SolverSim)
+		b.Replicas(*replicas)
 	}
-
-	if *replicas > 1 {
-		rr, err := tpcw.RunReplicas(cfg, *replicas, *workers)
-		if err != nil {
-			return err
-		}
-		if *csvTier != "" {
-			return emitTierCSV(rr.TierNames, rr.TierSamples, *csvTier)
-		}
-		printReplicas(mix, cfg, rr)
-		return nil
-	}
-
-	res, err := tpcw.RunN(cfg)
+	sc, err := b.Build()
 	if err != nil {
 		return err
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := burst.Run(ctx, sc)
+	if err != nil {
+		return err
+	}
+
 	if *csvTier != "" {
-		return emitTierCSV(res.TierNames, res.TierSamples, *csvTier)
+		sim := rep.Results[0].Sim
+		return emitTierCSV(sim.TierNames, sim.TierSamples, *csvTier)
 	}
-	fmt.Printf("mix=%s tiers=%d ebs=%d z=%.2fs duration=%.0fs\n", mix.Name, len(res.TierNames), *ebs, *z, *duration)
-	fmt.Printf("throughput=%.2f tx/s  meanResponse=%.4fs  p95Response=%.4fs\n",
-		res.Throughput, res.MeanResponse, res.P95Response)
-	for i, name := range res.TierNames {
-		fmt.Printf("tier %-6s utilization=%.3f contention=%.3f\n",
-			name, res.AvgUtil[i], res.ContentionFraction[i])
-	}
-	fmt.Println("per-type completions:")
-	for t := tpcw.Transaction(0); t < tpcw.NumTransactions; t++ {
-		fmt.Printf("  %-22v %8d (%.3f)\n", t, res.CompletedByType[t],
-			float64(res.CompletedByType[t])/float64(res.Completed))
+	for _, r := range rep.Results {
+		if *doValidate {
+			printValidation(r)
+		} else {
+			printSim(*mixName, r)
+		}
 	}
 	return nil
 }
@@ -143,27 +127,43 @@ func flagSet(name string) bool {
 	return set
 }
 
-func printReplicas(mix tpcw.Mix, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult) {
-	fmt.Printf("mix=%s tiers=%d ebs=%d replicas=%d\n", mix.Name, len(rr.TierNames), cfg.EBs, len(rr.Results))
-	fmt.Printf("throughput=%.2f ± %.2f tx/s  meanResponse=%.4f ± %.4fs\n",
-		rr.Throughput.Mean, rr.Throughput.HalfWidth,
-		rr.MeanResponse.Mean, rr.MeanResponse.HalfWidth)
-	for i, name := range rr.TierNames {
-		fmt.Printf("tier %-6s utilization=%.3f ± %.3f\n", name, rr.AvgUtil[i].Mean, rr.AvgUtil[i].HalfWidth)
+func printSim(mix string, r burst.PopulationReport) {
+	sim := r.Sim
+	fmt.Printf("mix=%s tiers=%d ebs=%d replicas=%d\n", mix, len(sim.TierNames), r.Population, sim.Replicas)
+	if sim.Replicas > 1 {
+		fmt.Printf("throughput=%.2f ± %.2f tx/s  meanResponse=%.4f ± %.4fs\n",
+			sim.Throughput.Mean, sim.Throughput.HalfWidth,
+			sim.MeanResponse.Mean, sim.MeanResponse.HalfWidth)
+	} else {
+		fmt.Printf("throughput=%.2f tx/s  meanResponse=%.4fs  p95Response=%.4fs\n",
+			sim.Throughput.Mean, sim.MeanResponse.Mean, sim.P95Response.Mean)
+	}
+	for i, name := range sim.TierNames {
+		fmt.Printf("tier %-6s utilization=%.3f ± %.3f  contention=%.3f\n",
+			name, sim.TierUtil[i].Mean, sim.TierUtil[i].HalfWidth, sim.ContentionFraction[i].Mean)
+	}
+	var total int64
+	for _, c := range sim.CompletedByType {
+		total += c
+	}
+	fmt.Println("per-type completions:")
+	for t, c := range sim.CompletedByType {
+		fmt.Printf("  %-22v %8d (%.3f)\n", sim.TransactionNames[t], c, float64(c)/float64(total))
 	}
 }
 
-func printValidation(rep *validate.Report) {
-	fmt.Printf("cross-validation at %d EBs, Z=%.2fs, %d replicas (CTMC states: %d)\n",
-		rep.EBs, rep.ThinkTime, rep.Replicas, rep.States)
+func printValidation(r burst.PopulationReport) {
+	v := r.Validation
+	fmt.Printf("cross-validation at %d EBs, %d replicas (CTMC states: %d)\n",
+		r.Population, r.Sim.Replicas, v.States)
 	fmt.Printf("throughput  sim=%.2f ± %.2f  MAP=%.2f (%+.1f%%)  MVA=%.2f (%+.1f%%)\n",
-		rep.SimThroughput.Mean, rep.SimThroughput.HalfWidth,
-		rep.MAPThroughput, 100*rep.MAPError, rep.MVAThroughput, 100*rep.MVAError)
-	for _, tier := range rep.Tiers {
+		v.SimThroughput.Mean, v.SimThroughput.HalfWidth,
+		v.MAPThroughput, 100*v.MAPError, v.MVAThroughput, 100*v.MVAError)
+	for _, tier := range v.Tiers {
 		fmt.Printf("tier %-6s U sim=%.3f ± %.3f  MAP=%.3f (%+.3f)  MVA=%.3f (%+.3f)  I=%.1f\n",
 			tier.Name, tier.SimUtil.Mean, tier.SimUtil.HalfWidth,
 			tier.MAPUtil, tier.MAPError, tier.MVAUtil, tier.MVAError,
-			tier.Characterization.IndexOfDispersion)
+			tier.IndexOfDispersion)
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -19,9 +20,14 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	for _, mix := range []burst.TPCWMix{burst.BrowsingMix(), burst.OrderingMix()} {
-		res, err := burst.SimulateTPCW(burst.TPCWConfig{
-			Mix: mix, EBs: 100, Seed: 7,
+		tiers, err := burst.DefaultTPCWTiers(mix, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := burst.Simulate(ctx, burst.TPCWConfigN{
+			Mix: mix, Tiers: tiers, EBs: 100, Seed: 7,
 			Duration: 700, Warmup: 120, Cooldown: 60,
 			TrackSeries: true,
 		})
@@ -30,25 +36,26 @@ func main() {
 		}
 		fmt.Printf("=== %s mix, 100 EBs ===\n", mix.Name)
 		fmt.Printf("throughput %.1f tx/s, mean utilization front %.2f / db %.2f\n\n",
-			res.Throughput, res.AvgUtilFront, res.AvgUtilDB)
+			res.Throughput, res.AvgUtil[0], res.AvgUtil[1])
 
 		// A 300-second window starting after warm-up, 10 s per column.
 		const start, span, step = 120, 300, 10
-		fmt.Println("front util  |" + sparkline(res.FrontUtil1s, start, span, step, 1))
-		fmt.Println("db util     |" + sparkline(res.DBUtil1s, start, span, step, 1))
-		fmt.Println("db queue    |" + sparkline(res.DBQueueLen1s, start, span, step, 100))
+		frontUtil, dbUtil := res.TierUtil1s[0], res.TierUtil1s[1]
+		fmt.Println("front util  |" + sparkline(frontUtil, start, span, step, 1))
+		fmt.Println("db util     |" + sparkline(dbUtil, start, span, step, 1))
+		fmt.Println("db queue    |" + sparkline(res.TierQueueLen1s[1], start, span, step, 100))
 		bs := res.InSystem1s[2] // BestSellers
 		fmt.Println("bestsellers |" + sparkline(bs, start, span, step, 100))
 		fmt.Printf("             (each column = %ds; bar height = level)\n", step)
 
 		switches := 0
-		for i := range res.DBUtil1s {
-			if res.DBUtil1s[i] > res.FrontUtil1s[i]+0.2 {
+		for i := range dbUtil {
+			if dbUtil[i] > frontUtil[i]+0.2 {
 				switches++
 			}
 		}
 		fmt.Printf("seconds with DB clearly the bottleneck: %d of %d (%.1f%%)\n\n",
-			switches, len(res.DBUtil1s), 100*float64(switches)/float64(len(res.DBUtil1s)))
+			switches, len(dbUtil), 100*float64(switches)/float64(len(dbUtil)))
 	}
 	fmt.Println("Under browsing, database contention epochs flip the bottleneck to the")
 	fmt.Println("DB tier (tall db bars while the front idles); ordering stays front-bound.")

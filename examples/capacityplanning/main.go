@@ -2,19 +2,21 @@
 //
 // A simulated TPC-W deployment under the bursty browsing mix stands in
 // for a production system. We "monitor" it the way an operator would
-// (coarse utilization and completion counts at 5-second windows), build
-// two capacity models from those measurements — the classical MVA model
-// (mean demands only) and the paper's MAP model (mean, index of
-// dispersion, 95th percentile) — and validate both against what the
-// system actually does as load grows.
+// (coarse utilization and completion counts at 5-second windows), feed
+// those measurements into a declarative Scenario — which builds the
+// classical MVA model (mean demands only) and the paper's MAP model
+// (mean, index of dispersion, 95th percentile) — and validate both
+// against what the system actually does as load grows.
 //
 // Run with: go run ./examples/capacityplanning
 // (takes a minute or two: it simulates the validation experiments)
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"text/tabwriter"
 
@@ -23,38 +25,57 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Step 1 — measurement run. The paper fits from a 50-EB experiment
 	// with think time Zestim = 7 s: the low completion rate gives each
 	// 5-second monitoring window few requests, which sharpens the
 	// index-of-dispersion estimate (Section 4.2).
 	fmt.Println("measuring the production system (browsing mix, 50 EBs, Zestim = 7s)...")
-	fitRun, err := burst.SimulateTPCW(burst.TPCWConfig{
-		Mix: burst.BrowsingMix(), EBs: 50, ThinkTime: 7, Seed: 42,
+	mix := burst.BrowsingMix()
+	tiers, err := burst.DefaultTPCWTiers(mix, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitRun, err := burst.Simulate(ctx, burst.TPCWConfigN{
+		Mix: mix, Tiers: tiers, EBs: 50, ThinkTime: 7, Seed: 42,
 		Duration: 2400, Warmup: 120, Cooldown: 60,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Step 2 — build the plan: characterize each tier and fit MAP(2)s.
-	plan, err := burst.NewPlan(fitRun.FrontSamples, fitRun.DBSamples, 0.5, burst.PlannerOptions{})
+	// Step 2 — declare the what-if model from the monitored samples and
+	// run it across the population sweep (characterize + fit + solve all
+	// happen inside Run).
+	populations := []int{25, 50, 100, 150}
+	rep, err := burst.Run(ctx, burst.Scenario{
+		Name:        "capacityplanning",
+		ThinkTime:   0.5,
+		Populations: populations,
+		Tiers: []burst.TierSpec{
+			{Name: "front", Samples: &fitRun.TierSamples[0]},
+			{Name: "db", Samples: &fitRun.TierSamples[1]},
+		},
+		Solvers: []burst.SolverKind{burst.SolverMAP, burst.SolverMVA},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("front tier: S = %.2f ms, I = %.1f, p95 = %.2f ms\n",
-		1e3*plan.Front.MeanServiceTime, plan.Front.IndexOfDispersion, 1e3*plan.Front.P95ServiceTime)
-	fmt.Printf("db tier:    S = %.2f ms, I = %.1f, p95 = %.2f ms\n\n",
-		1e3*plan.DB.MeanServiceTime, plan.DB.IndexOfDispersion, 1e3*plan.DB.P95ServiceTime)
+	for _, tier := range rep.Tiers {
+		c := tier.Characterization
+		fmt.Printf("%s tier: S = %.2f ms, I = %.1f, p95 = %.2f ms\n",
+			tier.Name, 1e3*c.MeanServiceTime, c.IndexOfDispersion, 1e3*c.P95ServiceTime)
+	}
+	fmt.Println()
 
 	// Step 3 — validation: what does the real system do at Z = 0.5 s as
 	// the number of emulated browsers grows?
-	populations := []int{25, 50, 100, 150}
 	measured := make([]float64, len(populations))
 	for i, n := range populations {
 		fmt.Printf("running validation experiment at %d EBs...\n", n)
-		run, err := burst.SimulateTPCW(burst.TPCWConfig{
-			Mix: burst.BrowsingMix(), EBs: n, ThinkTime: 0.5, Seed: int64(100 + n),
+		run, err := burst.Simulate(ctx, burst.TPCWConfigN{
+			Mix: mix, Tiers: tiers, EBs: n, ThinkTime: 0.5, Seed: int64(100 + n),
 			Duration: 1200, Warmup: 120, Cooldown: 60,
 		})
 		if err != nil {
@@ -64,21 +85,22 @@ func main() {
 	}
 
 	// Step 4 — compare.
-	acc, err := plan.Compare(populations, measured)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "EBs\tmeasured\tMAP model\terr%\tMVA\terr%")
-	for _, a := range acc {
+	for i, r := range rep.Results {
 		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
-			a.EBs, a.Measured, a.MAPPredicted, 100*a.MAPRelativeError,
-			a.MVAPredicted, 100*a.MVARelativeError)
+			r.Population, measured[i],
+			r.MAP.Throughput, 100*relErr(r.MAP.Throughput, measured[i]),
+			r.MVA.Throughput, 100*relErr(r.MVA.Throughput, measured[i]))
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nMVA, blind to burstiness, overpredicts saturated throughput;")
 	fmt.Println("the MAP model tracks the measured curve (the paper's Fig. 12a).")
+}
+
+func relErr(pred, actual float64) float64 {
+	return math.Abs(pred-actual) / actual
 }

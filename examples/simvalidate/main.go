@@ -1,22 +1,23 @@
 // Simvalidate: the paper's closed validation loop, end to end, for a
-// three-tier system — entirely inside the library.
+// three-tier system — one declarative scenario.
 //
-//  1. Simulate a three-tier TPC-W testbed (front + app + DB, shopping
-//     mix) with several independently seeded replicas running across
-//     goroutines; collect throughput and per-tier utilization with 95%
-//     confidence intervals.
-//  2. Characterize every tier purely from the simulated coarse monitoring
-//     samples (mean service time, index of dispersion, p95), fit a MAP(2)
-//     per tier, and solve the exact 3-station closed MAP network at the
+//  1. Declare the experiment: a three-tier TPC-W workload (front + app +
+//     DB, shopping mix), 40 emulated browsers, three independently
+//     seeded replicas, and the crossvalidate solver.
+//  2. burst.Run simulates the replicas across goroutines, characterizes
+//     every tier purely from the simulated coarse monitoring samples
+//     (mean service time, index of dispersion, p95), fits a MAP(2) per
+//     tier, and solves the exact 3-station closed MAP network at the
 //     simulated population, alongside the MVA baseline.
-//  3. Report simulation-vs-model throughput and utilization errors — the
-//     cross-validation the paper performs against its real testbed
-//     (Section 4.2), here for arbitrary tier counts.
+//  3. The Report carries simulation-vs-model throughput and utilization
+//     errors — the cross-validation the paper performs against its real
+//     testbed (Section 4.2), here for arbitrary tier counts.
 //
 // Run with: go run ./examples/simvalidate
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,37 +27,40 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	mix := burst.ShoppingMix()
-	tiers, err := burst.DefaultTPCWTiers(mix, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := burst.TPCWConfigN{
-		Mix: mix, Tiers: tiers,
-		EBs: 40, Seed: 2024,
-		Duration: 900, Warmup: 60, Cooldown: 30,
+	sc := burst.Scenario{
+		Name:        "simvalidate",
+		ThinkTime:   0.5,
+		Populations: []int{40},
+		Workload: &burst.WorkloadSpec{
+			Mix: "shopping", Tiers: 3,
+			Duration: 900, Warmup: 60, Cooldown: 30,
+			Seed: 2024, Replicas: 3,
+		},
+		Solvers: []burst.SolverKind{burst.SolverCrossValidate},
 	}
 
 	fmt.Println("Simulating 3 replicas of a 3-tier TPC-W testbed (40 EBs, shopping mix)...")
-	rep, err := burst.CrossValidateTPCW(cfg, burst.ValidationOptions{Replicas: 3})
+	rep, err := burst.Run(context.Background(), sc)
 	if err != nil {
 		log.Fatal(err)
 	}
+	r := rep.Results[0]
+	v := r.Validation
 
-	fmt.Printf("\nThroughput (tx/s) at %d EBs, Z = %.2f s:\n", rep.EBs, rep.ThinkTime)
+	fmt.Printf("\nThroughput (tx/s) at %d EBs, Z = %.2f s:\n", r.Population, sc.ThinkTime)
 	fmt.Printf("  simulated  %6.2f ± %.2f (95%% CI over %d replicas)\n",
-		rep.SimThroughput.Mean, rep.SimThroughput.HalfWidth, rep.Replicas)
+		v.SimThroughput.Mean, v.SimThroughput.HalfWidth, r.Sim.Replicas)
 	fmt.Printf("  MAP model  %6.2f  (%+.1f%%)   [CTMC states: %d]\n",
-		rep.MAPThroughput, 100*rep.MAPError, rep.States)
-	fmt.Printf("  MVA model  %6.2f  (%+.1f%%)\n", rep.MVAThroughput, 100*rep.MVAError)
+		v.MAPThroughput, 100*v.MAPError, v.States)
+	fmt.Printf("  MVA model  %6.2f  (%+.1f%%)\n", v.MVAThroughput, 100*v.MVAError)
 
 	fmt.Println("\nPer-tier utilization:")
 	fmt.Println("  tier    simulated         MAP             MVA         I (measured)")
-	for _, tier := range rep.Tiers {
+	for _, tier := range v.Tiers {
 		fmt.Printf("  %-6s  %.3f ± %.3f   %.3f (%+.3f)  %.3f (%+.3f)  %8.1f\n",
 			tier.Name, tier.SimUtil.Mean, tier.SimUtil.HalfWidth,
 			tier.MAPUtil, tier.MAPError, tier.MVAUtil, tier.MVAError,
-			tier.Characterization.IndexOfDispersion)
+			tier.IndexOfDispersion)
 	}
 
 	fmt.Println("\nThe MAP network is parameterized from nothing but the simulated")

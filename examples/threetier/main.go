@@ -1,20 +1,23 @@
 // Threetier: capacity planning for a three-tier system (front + app +
 // DB + think) with a bursty middle tier — the N-tier generalization of
-// the paper's two-tier methodology.
+// the paper's two-tier methodology, expressed as a declarative Scenario.
 //
 //  1. Synthesize coarse monitoring samples (utilization, completions per
 //     5 s window) for three tiers; the app tier's service is modulated
 //     by a slow burst regime.
-//  2. Characterize every tier in one call (mean, I, p95), fit a MAP(2)
-//     per tier, and build the 3-station closed MAP network.
-//  3. Predict throughput, per-tier utilizations and queue-length tails
-//     across a population sweep, against the burstiness-blind MVA
-//     baseline, and bracket large populations with product-form bounds.
+//  2. Declare the experiment as data — three sampled TierSpecs, a
+//     population sweep, the map+mva solvers — and execute it with
+//     burst.Run. Characterization, MAP(2) fitting, and the warm-started
+//     CTMC sweep all happen inside the one entry point.
+//  3. Read throughput, per-tier utilizations and queue-length tails from
+//     the unified Report, against the burstiness-blind MVA baseline, and
+//     bracket large populations with a bounds-only scenario.
 //
 // Run with: go run ./examples/threetier
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -58,55 +61,62 @@ func monitorTier(seed int64, meanService, burstFactor float64) burst.Utilization
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. Three tiers of monitoring data; only the app tier is bursty.
-	tiers := []burst.UtilizationSamples{
-		monitorTier(11, 0.004, 1.0), // front: smooth
-		monitorTier(23, 0.006, 2.0), // app: bursty middle tier
-		monitorTier(37, 0.003, 1.0), // db: smooth
-	}
+	front := monitorTier(11, 0.004, 1.0) // front: smooth
+	app := monitorTier(23, 0.006, 2.0)   // app: bursty middle tier
+	db := monitorTier(37, 0.003, 1.0)    // db: smooth
 
-	// 2. Measurements -> characterizations -> fitted MAP(2)s -> plan.
-	plan, err := burst.NewPlanN(tiers, 0.5, burst.PlannerOptions{
-		TierNames: []string{"front", "app", "db"},
-		Solver:    burst.SolverOptions{Tol: 1e-8},
-	})
+	// 2. The whole experiment as one declarative scenario.
+	sc := burst.Scenario{
+		Name:        "threetier",
+		ThinkTime:   0.5,
+		Populations: []int{5, 10, 20},
+		Tiers: []burst.TierSpec{
+			{Name: "front", Samples: &front},
+			{Name: "app", Samples: &app},
+			{Name: "db", Samples: &db},
+		},
+		Solvers: []burst.SolverKind{burst.SolverMAP, burst.SolverMVA},
+		Planner: &burst.PlannerOptions{Solver: burst.SolverOptions{Tol: 1e-8}},
+	}
+	rep, err := burst.Run(ctx, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, tier := range plan.Tiers {
+	for _, tier := range rep.Tiers {
 		c := tier.Characterization
 		fmt.Printf("%-6s S=%.4fs  I=%6.1f  p95=%.4fs  (fit: SCV=%.1f gamma=%.3f)\n",
 			tier.Name, c.MeanServiceTime, c.IndexOfDispersion, c.P95ServiceTime,
-			tier.Fit.SCV, tier.Fit.Gamma)
+			tier.FitSCV, tier.FitGamma)
 	}
 
 	// 3. Population sweep: the MAP model sees the bursty app tier
 	// saturate effective capacity well below the MVA baseline's optimism.
-	populations := []int{5, 10, 20}
-	preds, err := plan.Predict(populations)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("\n%4s %9s %9s | %7s %7s %7s | %12s\n",
 		"EBs", "MAP X", "MVA X", "U_front", "U_app", "U_db", "P(Qapp>=N/2)")
-	for _, p := range preds {
+	for _, r := range rep.Results {
 		tail := 0.0
-		for k := p.EBs / 2; k < len(p.MAP.QueueDists[1]); k++ {
-			tail += p.MAP.QueueDists[1][k]
+		for k := r.Population / 2; k < len(r.MAP.QueueDists[1]); k++ {
+			tail += r.MAP.QueueDists[1][k]
 		}
 		fmt.Printf("%4d %9.1f %9.1f | %7.2f %7.2f %7.2f | %12.4f\n",
-			p.EBs, p.MAP.Throughput, p.MVA.Throughput,
-			p.MAP.Utils[0], p.MAP.Utils[1], p.MAP.Utils[2], tail)
+			r.Population, r.MAP.Throughput, r.MVA.Throughput,
+			r.MAP.Utils[0], r.MAP.Utils[1], r.MAP.Utils[2], tail)
 	}
 
-	// Product-form bounds scale where the exact CTMC cannot.
-	bounds, err := plan.Bounds([]int{50, 200, 1000})
+	// Product-form bounds scale where the exact CTMC cannot: same tiers,
+	// bounds-only solver, far larger populations.
+	sc.Name = "threetier-bounds"
+	sc.Populations = []int{50, 200, 1000}
+	sc.Solvers = []burst.SolverKind{burst.SolverBounds}
+	bounds, err := burst.Run(ctx, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nlarge-population throughput bounds (no CTMC solve):\n")
-	for _, b := range bounds {
-		fmt.Printf("  N=%4d   X in [%.1f, %.1f]\n", b.Customers, b.LowerX, b.UpperX)
+	for _, r := range bounds.Results {
+		fmt.Printf("  N=%4d   X in [%.1f, %.1f]\n", r.Population, r.Bounds.LowerX, r.Bounds.UpperX)
 	}
 }

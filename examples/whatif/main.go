@@ -1,8 +1,10 @@
 // What-if analysis — using the fitted model as a capacity oracle.
 //
-// Once a Plan is built from measurements, what-if questions cost a model
-// solve instead of a load test. This example answers two of them for a
-// bursty system:
+// Once measurements are in hand, what-if questions cost a model solve
+// instead of a load test. Each question is one declarative Scenario —
+// explicit (mean, I, p95) tier characterizations, a population sweep, a
+// think time — answered by burst.Run. This example asks two of them for
+// a bursty system:
 //
 //  1. "How many concurrent users can we serve before mean response time
 //     exceeds an SLA of 500 ms?" — with burstiness vs. the MVA answer.
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,19 +30,19 @@ func main() {
 	// Stand-in for production measurements: characterizations of a
 	// front tier with mild burstiness and a DB tier with strong
 	// burstiness (the browsing-mix regime of the paper).
-	front := burst.Characterization{
-		MeanServiceTime:   0.0068,
-		IndexOfDispersion: 40,
-		P95ServiceTime:    0.021,
-	}
-	db := burst.Characterization{
-		MeanServiceTime:   0.0046,
-		IndexOfDispersion: 280,
-		P95ServiceTime:    0.019,
+	tiers := []burst.TierSpec{
+		{Name: "front", Mean: 0.0068, IndexOfDispersion: 40, P95: 0.021},
+		{Name: "db", Mean: 0.0046, IndexOfDispersion: 280, P95: 0.019},
 	}
 
 	for _, z := range []float64{0.5, 0.25} {
-		plan, err := burst.NewPlanFromCharacterizations(front, db, z, burst.PlannerOptions{})
+		rep, err := burst.Run(context.Background(), burst.Scenario{
+			Name:        fmt.Sprintf("whatif-z%.2f", z),
+			ThinkTime:   z,
+			Populations: []int{10, 25, 50, 75, 100, 125, 150},
+			Tiers:       tiers,
+			Solvers:     []burst.SolverKind{burst.SolverMAP, burst.SolverMVA},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,23 +50,18 @@ func main() {
 		fmt.Printf("%5s %12s %12s %14s %14s\n", "EBs", "MAP TPUT", "MAP R(ms)", "MVA R(ms)", "verdict")
 
 		maxMAP, maxMVA := 0, 0
-		for _, n := range []int{10, 25, 50, 75, 100, 125, 150} {
-			preds, err := plan.Predict([]int{n})
-			if err != nil {
-				log.Fatal(err)
-			}
-			p := preds[0]
+		for _, r := range rep.Results {
 			verdict := "OK"
-			if p.MAP.ResponseTime > slaSeconds {
+			if r.MAP.ResponseTime > slaSeconds {
 				verdict = "SLA violated"
 			} else {
-				maxMAP = n
+				maxMAP = r.Population
 			}
-			if p.MVA.ResponseTime <= slaSeconds {
-				maxMVA = n
+			if r.MVA.ResponseTime <= slaSeconds {
+				maxMVA = r.Population
 			}
 			fmt.Printf("%5d %12.1f %12.1f %14.1f %14s\n",
-				n, p.MAP.Throughput, 1e3*p.MAP.ResponseTime, 1e3*p.MVA.ResponseTime, verdict)
+				r.Population, r.MAP.Throughput, 1e3*r.MAP.ResponseTime, 1e3*r.MVA.ResponseTime, verdict)
 		}
 		fmt.Printf("capacity at SLA: %d EBs per the MAP model, %d per MVA\n", maxMAP, maxMVA)
 		if maxMVA > maxMAP {

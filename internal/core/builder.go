@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ParseIntList parses a comma-separated list of positive integers
+// ("25,50,100"), the CLI syntax for population sweeps.
+func ParseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad count %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: empty list")
+	}
+	return out, nil
+}
+
+// ParseNameList parses a comma-separated list of names, trimming blanks
+// ("front, app,db" -> [front app db]). An empty input yields nil.
+func ParseNameList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CLIWindow maps a command-line warm-up/cool-down flag value to the
+// library's window semantics: on the CLI an explicit 0 means "analyze the
+// whole run" (the ZeroWindow sentinel), whereas an untouched flag keeps
+// the library default. set reports whether the flag was explicitly
+// provided.
+func CLIWindow(value float64, set bool) float64 {
+	if value == 0 && set {
+		return ZeroWindow
+	}
+	return value
+}
+
+// ScenarioBuilder accumulates CLI-style inputs into a Scenario,
+// collecting errors along the way so flag-parsing code stays linear. It
+// is the shared front end of the capplan, tpcwsim and burstlab commands:
+// every method maps one flag surface onto the declarative scenario.
+type ScenarioBuilder struct {
+	sc        Scenario
+	tierNames []string
+	errs      []error
+}
+
+// NewScenarioBuilder returns an empty builder.
+func NewScenarioBuilder() *ScenarioBuilder {
+	return &ScenarioBuilder{}
+}
+
+func (b *ScenarioBuilder) fail(format string, args ...any) *ScenarioBuilder {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+	return b
+}
+
+// Name sets the scenario label.
+func (b *ScenarioBuilder) Name(name string) *ScenarioBuilder {
+	b.sc.Name = name
+	return b
+}
+
+// ThinkTime sets the mean user think time Z in seconds.
+func (b *ScenarioBuilder) ThinkTime(z float64) *ScenarioBuilder {
+	b.sc.ThinkTime = z
+	return b
+}
+
+// Populations sets the population sweep.
+func (b *ScenarioBuilder) Populations(ns ...int) *ScenarioBuilder {
+	b.sc.Populations = append([]int(nil), ns...)
+	return b
+}
+
+// PopulationList parses a comma-separated population sweep ("25,50,100").
+func (b *ScenarioBuilder) PopulationList(csv string) *ScenarioBuilder {
+	ns, err := ParseIntList(csv)
+	if err != nil {
+		return b.fail("populations: %v", err)
+	}
+	return b.Populations(ns...)
+}
+
+// TierNames applies a comma-separated name list to the declared tiers at
+// Build time ("front,app,db"). The count must match the declared tiers.
+func (b *ScenarioBuilder) TierNames(csv string) *ScenarioBuilder {
+	b.tierNames = ParseNameList(csv)
+	return b
+}
+
+// SampleTier appends a tier measured by raw monitoring samples.
+func (b *ScenarioBuilder) SampleTier(name string, s trace.UtilizationSamples) *ScenarioBuilder {
+	cp := s
+	cp.Utilization = append([]float64(nil), s.Utilization...)
+	cp.Completions = append([]float64(nil), s.Completions...)
+	b.sc.Tiers = append(b.sc.Tiers, TierSpec{Name: name, Samples: &cp})
+	return b
+}
+
+// DemandTier appends a tier with an explicit (mean, I, p95)
+// characterization.
+func (b *ScenarioBuilder) DemandTier(name string, mean, indexOfDispersion, p95 float64) *ScenarioBuilder {
+	b.sc.Tiers = append(b.sc.Tiers, TierSpec{
+		Name: name, Mean: mean, IndexOfDispersion: indexOfDispersion, P95: p95,
+	})
+	return b
+}
+
+// workload returns the workload spec, allocating it on first use.
+func (b *ScenarioBuilder) workload() *WorkloadSpec {
+	if b.sc.Workload == nil {
+		b.sc.Workload = &WorkloadSpec{}
+	}
+	return b.sc.Workload
+}
+
+// Workload declares the simulated testbed: a named transaction mix and a
+// tier count (0 keeps the default).
+func (b *ScenarioBuilder) Workload(mix string, tiers int) *ScenarioBuilder {
+	wl := b.workload()
+	wl.Mix = mix
+	wl.Tiers = tiers
+	return b
+}
+
+// Duration sets the simulated run length in seconds.
+func (b *ScenarioBuilder) Duration(seconds float64) *ScenarioBuilder {
+	b.workload().Duration = seconds
+	return b
+}
+
+// Window sets the warm-up and cool-down trims using CLI semantics: a
+// value of 0 with its set flag true means "analyze the whole run"
+// (ZeroWindow); 0 with set false keeps the library default.
+func (b *ScenarioBuilder) Window(warmup float64, warmupSet bool, cooldown float64, cooldownSet bool) *ScenarioBuilder {
+	wl := b.workload()
+	wl.Warmup = CLIWindow(warmup, warmupSet)
+	wl.Cooldown = CLIWindow(cooldown, cooldownSet)
+	return b
+}
+
+// MonitorPeriod sets the coarse measurement window in seconds.
+func (b *ScenarioBuilder) MonitorPeriod(seconds float64) *ScenarioBuilder {
+	b.workload().MonitorPeriod = seconds
+	return b
+}
+
+// Seed sets the simulation root seed.
+func (b *ScenarioBuilder) Seed(seed int64) *ScenarioBuilder {
+	b.workload().Seed = seed
+	return b
+}
+
+// Replicas sets the replica count per population.
+func (b *ScenarioBuilder) Replicas(n int) *ScenarioBuilder {
+	b.workload().Replicas = n
+	return b
+}
+
+// Workers caps the goroutines running replicas (0 = GOMAXPROCS).
+func (b *ScenarioBuilder) Workers(n int) *ScenarioBuilder {
+	b.workload().Workers = n
+	return b
+}
+
+// KeepSamples retains the pooled monitoring streams in the report.
+func (b *ScenarioBuilder) KeepSamples(keep bool) *ScenarioBuilder {
+	b.workload().KeepSamples = keep
+	return b
+}
+
+// Solvers selects the evaluation methods.
+func (b *ScenarioBuilder) Solvers(kinds ...SolverKind) *ScenarioBuilder {
+	b.sc.Solvers = append([]SolverKind(nil), kinds...)
+	return b
+}
+
+// SolverList parses a comma-separated solver selection
+// ("map,mva,bounds").
+func (b *ScenarioBuilder) SolverList(csv string) *ScenarioBuilder {
+	names := ParseNameList(csv)
+	if len(names) == 0 {
+		return b
+	}
+	kinds := make([]SolverKind, len(names))
+	for i, n := range names {
+		kinds[i] = SolverKind(n)
+	}
+	return b.Solvers(kinds...)
+}
+
+// planner returns the planner options, allocating them on first use.
+func (b *ScenarioBuilder) planner() *PlannerOptions {
+	if b.sc.Planner == nil {
+		b.sc.Planner = &PlannerOptions{}
+	}
+	return b.sc.Planner
+}
+
+// SolverTolerance sets the CTMC solver's residual tolerance.
+func (b *ScenarioBuilder) SolverTolerance(tol float64) *ScenarioBuilder {
+	b.planner().Solver.Tol = tol
+	return b
+}
+
+// OnProgress installs a progress callback.
+func (b *ScenarioBuilder) OnProgress(fn ProgressFunc) *ScenarioBuilder {
+	b.sc.OnProgress = fn
+	return b
+}
+
+// Build finalizes the scenario: pending tier names are applied, defaults
+// materialized, and the result validated. Any error collected along the
+// way (or found by validation) is returned.
+func (b *ScenarioBuilder) Build() (Scenario, error) {
+	if len(b.errs) > 0 {
+		return Scenario{}, b.errs[0]
+	}
+	if len(b.tierNames) > 0 {
+		if len(b.tierNames) != len(b.sc.Tiers) {
+			return Scenario{}, fmt.Errorf("core: %d tier names for %d tiers", len(b.tierNames), len(b.sc.Tiers))
+		}
+		for i, name := range b.tierNames {
+			b.sc.Tiers[i].Name = name
+		}
+	}
+	sc := b.sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -68,6 +69,14 @@ func tierNames(k int, explicit []string) ([]string, error) {
 		names[0] = "server"
 	}
 	return names, nil
+}
+
+// DefaultTierNames returns the positional tier labels for a K-tier
+// system: front, app..., db (server for K=1) — the convention shared by
+// the planner, the simulator, and scenario reports.
+func DefaultTierNames(k int) []string {
+	names, _ := tierNames(k, nil) // tierNames errors only on explicit-name mismatch
+	return names
 }
 
 // BuildPlanN runs the full Section 4 pipeline for a K-tier system:
@@ -149,6 +158,13 @@ type PredictionN struct {
 // evaluations run as one warm-started sweep: each population's CTMC
 // solve is seeded with the previous population's stationary vector.
 func (p *PlanN) Predict(populations []int) ([]PredictionN, error) {
+	return p.PredictCtx(context.Background(), populations, nil)
+}
+
+// PredictCtx is Predict with cooperative cancellation and an optional
+// per-population progress callback (nil to disable). A canceled sweep
+// returns ctx.Err() within one population step.
+func (p *PlanN) PredictCtx(ctx context.Context, populations []int, progress mapqn.SweepProgress) ([]PredictionN, error) {
 	if len(populations) == 0 {
 		return nil, errors.New("core: no populations requested")
 	}
@@ -158,8 +174,11 @@ func (p *PlanN) Predict(populations []int) ([]PredictionN, error) {
 		}
 	}
 	baseline := p.Baseline()
-	mets, err := mapqn.SolveNetworkSweep(p.Stations(), p.ThinkTime, populations, p.opts.Solver)
+	mets, err := mapqn.SolveNetworkSweepCtx(ctx, p.Stations(), p.ThinkTime, populations, p.opts.Solver, progress)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: MAP model: %w", err)
 	}
 	out := make([]PredictionN, 0, len(populations))

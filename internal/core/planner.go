@@ -28,14 +28,14 @@ import (
 // PlannerOptions tunes model construction.
 type PlannerOptions struct {
 	// Inference configures the measurement pipeline.
-	Inference inference.Options
+	Inference inference.Options `json:"inference,omitempty"`
 	// Fit configures the MAP(2) selection (paper Section 4.1).
-	Fit markov.FitOptions
+	Fit markov.FitOptions `json:"fit,omitempty"`
 	// Solver configures the CTMC steady-state solver.
-	Solver ctmc.Options
+	Solver ctmc.Options `json:"solver,omitempty"`
 	// TierNames optionally labels the tiers of an N-tier plan (one per
 	// tier, in visit order). Empty uses front/app.../db defaults.
-	TierNames []string
+	TierNames []string `json:"tier_names,omitempty"`
 }
 
 // Plan is a parameterized capacity-planning model for a two-tier system:

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/inference"
+	"repro/internal/mapqn"
+	"repro/internal/mva"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TierReport summarizes one modeled tier of a scenario: the (mean, I,
+// p95) characterization the models consumed and, when a MAP(2) was
+// fitted, the selected candidate's descriptors.
+type TierReport struct {
+	Name             string                     `json:"name"`
+	Characterization inference.Characterization `json:"characterization"`
+	// Demand is the tier's aggregate mean service demand per cycle
+	// (visits * mean service time).
+	Demand float64 `json:"demand"`
+	// FitSCV and FitGamma are the fitted MAP(2)'s marginal SCV and
+	// autocorrelation decay (zero when no MAP was fitted, e.g. MVA-only
+	// scenarios).
+	FitSCV   float64 `json:"fit_scv,omitempty"`
+	FitGamma float64 `json:"fit_gamma,omitempty"`
+	// AchievedI and AchievedP95 are the fitted process's exact
+	// descriptors.
+	AchievedI   float64 `json:"achieved_i,omitempty"`
+	AchievedP95 float64 `json:"achieved_p95,omitempty"`
+}
+
+// SimPoint is the simulated ground truth at one population: across-
+// replica means with 95% confidence half-widths.
+type SimPoint struct {
+	// Replicas is the number of independently seeded replicas behind the
+	// intervals.
+	Replicas     int            `json:"replicas"`
+	Throughput   stats.Interval `json:"throughput"`
+	MeanResponse stats.Interval `json:"mean_response"`
+	P95Response  stats.Interval `json:"p95_response"`
+	// TierUtil[i] is tier i's mean utilization across replicas.
+	TierUtil []stats.Interval `json:"tier_util"`
+	// ContentionFraction[i] is the share of simulated time tier i spent
+	// in a contention epoch, across replicas.
+	ContentionFraction []stats.Interval `json:"contention_fraction"`
+	// TierNames labels the per-tier slices.
+	TierNames []string `json:"tier_names"`
+	// TierSamples[i] is tier i's pooled coarse monitoring stream (only
+	// when the workload sets KeepSamples).
+	TierSamples []trace.UtilizationSamples `json:"tier_samples,omitempty"`
+	// CompletedByType[t] counts transactions of type t completed across
+	// all replicas' measurement windows; TransactionNames labels the
+	// entries.
+	CompletedByType  []int64  `json:"completed_by_type,omitempty"`
+	TransactionNames []string `json:"transaction_names,omitempty"`
+}
+
+// TierValidation compares one tier's simulated and modeled utilization.
+type TierValidation struct {
+	Name string `json:"name"`
+	// SimUtil is the simulated mean utilization across replicas.
+	SimUtil stats.Interval `json:"sim_util"`
+	// MAPUtil and MVAUtil are the modeled busy probabilities.
+	MAPUtil float64 `json:"map_util"`
+	MVAUtil float64 `json:"mva_util"`
+	// MAPError and MVAError are signed absolute utilization errors
+	// (model minus simulation mean).
+	MAPError float64 `json:"map_error"`
+	MVAError float64 `json:"mva_error"`
+	// IndexOfDispersion is the I inferred from the simulated monitoring
+	// stream — the burstiness the MAP model was parameterized with.
+	IndexOfDispersion float64 `json:"index_of_dispersion"`
+}
+
+// ValidationPoint is the sim-vs-model comparison at one population: the
+// paper's cross-validation deltas.
+type ValidationPoint struct {
+	// SimThroughput is the simulated throughput across replicas.
+	SimThroughput stats.Interval `json:"sim_throughput"`
+	// MAPThroughput and MVAThroughput are the model predictions.
+	MAPThroughput float64 `json:"map_throughput"`
+	MVAThroughput float64 `json:"mva_throughput"`
+	// MAPError and MVAError are signed relative throughput errors
+	// against the simulated mean.
+	MAPError float64 `json:"map_error"`
+	MVAError float64 `json:"mva_error"`
+	// MAPWithinCI reports whether the MAP prediction falls inside the
+	// simulation's 95% confidence interval.
+	MAPWithinCI bool `json:"map_within_ci"`
+	// States is the size of the CTMC the MAP model solved.
+	States int `json:"states"`
+	// Tiers holds the per-tier utilization comparison.
+	Tiers []TierValidation `json:"tiers"`
+}
+
+// PopulationReport carries every requested result at one population
+// level; solvers the scenario did not request leave their entry nil.
+type PopulationReport struct {
+	Population int `json:"population"`
+	// MAP is the exact MAP-network solution ("map" solver).
+	MAP *mapqn.NetworkMetrics `json:"map,omitempty"`
+	// MVA is the product-form baseline ("mva" solver).
+	MVA *mva.Result `json:"mva,omitempty"`
+	// Bounds bracket the MAP network's throughput ("bounds" solver).
+	Bounds *mapqn.NetworkBoundsResult `json:"bounds,omitempty"`
+	// Sim is the simulated ground truth ("sim"/"crossvalidate" solvers).
+	Sim *SimPoint `json:"sim,omitempty"`
+	// Validation holds the sim-vs-model deltas ("crossvalidate" solver).
+	Validation *ValidationPoint `json:"validation,omitempty"`
+}
+
+// Report is the unified, JSON-serializable outcome of running a
+// Scenario: the normalized scenario it answers, per-tier model inputs,
+// and one PopulationReport per requested population.
+type Report struct {
+	// Scenario is the executed scenario with defaults materialized.
+	Scenario Scenario `json:"scenario"`
+	// TierNames labels the modeled tiers (when an analytical solver ran).
+	TierNames []string `json:"tier_names,omitempty"`
+	// Tiers summarizes the modeled tiers' characterizations and fits.
+	Tiers []TierReport `json:"tiers,omitempty"`
+	// Results holds one entry per population, in scenario order.
+	Results []PopulationReport `json:"results"`
+}
+
+// JSON serializes the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("core: encode report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseReport decodes a report produced by Report.JSON.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("core: parse report: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleStream() trace.UtilizationSamples {
+	u := trace.UtilizationSamples{PeriodSeconds: 5}
+	for k := 0; k < 200; k++ {
+		u.Utilization = append(u.Utilization, 0.3+0.001*float64(k%30))
+		u.Completions = append(u.Completions, 50)
+	}
+	return u
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := Scenario{
+		ThinkTime:   0.5,
+		Populations: []int{10, 20},
+		Tiers:       []TierSpec{{Mean: 0.01}, {Mean: 0.02}},
+	}.WithDefaults()
+	if !sc.Wants(SolverMAP) || !sc.Wants(SolverMVA) {
+		t.Fatalf("tier scenario default solvers = %v, want map+mva", sc.Solvers)
+	}
+	if sc.WantsSimulation() {
+		t.Fatalf("tier scenario should not default to simulation: %v", sc.Solvers)
+	}
+
+	ws := Scenario{
+		ThinkTime:   0.5,
+		Populations: []int{10},
+		Workload:    &WorkloadSpec{},
+	}.WithDefaults()
+	if !ws.Wants(SolverCrossValidate) {
+		t.Fatalf("workload scenario default solvers = %v, want crossvalidate", ws.Solvers)
+	}
+	if ws.Workload.Mix != "browsing" || ws.Workload.Tiers != 2 || ws.Workload.Replicas != 3 {
+		t.Fatalf("workload defaults = %+v", ws.Workload)
+	}
+	if err := ws.Validate(); err != nil {
+		t.Fatalf("defaulted workload scenario invalid: %v", err)
+	}
+}
+
+func TestScenarioValidateErrors(t *testing.T) {
+	base := Scenario{
+		ThinkTime:   0.5,
+		Populations: []int{10},
+		Tiers:       []TierSpec{{Mean: 0.01}},
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"zero think time", func(s *Scenario) { s.ThinkTime = 0 }, "think time"},
+		{"no populations", func(s *Scenario) { s.Populations = nil }, "population"},
+		{"bad population", func(s *Scenario) { s.Populations = []int{0} }, "population"},
+		{"unknown solver", func(s *Scenario) { s.Solvers = []SolverKind{"fft"} }, "unknown solver"},
+		{"duplicate solver", func(s *Scenario) { s.Solvers = []SolverKind{SolverMAP, SolverMAP} }, "twice"},
+		{"model without tiers", func(s *Scenario) { s.Tiers = nil; s.Solvers = []SolverKind{SolverMAP} }, "need"},
+		{"sim without workload", func(s *Scenario) { s.Solvers = []SolverKind{SolverSim} }, "workload"},
+		{"tier both forms", func(s *Scenario) {
+			u := sampleStream()
+			s.Tiers = []TierSpec{{Mean: 0.01, Samples: &u}}
+		}, "not both"},
+		{"tier neither form", func(s *Scenario) { s.Tiers = []TierSpec{{Name: "front"}} }, "needs"},
+		{"negative visits", func(s *Scenario) { s.Tiers = []TierSpec{{Mean: 0.01, Visits: -1}} }, "visit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base
+			sc.Tiers = append([]TierSpec(nil), base.Tiers...)
+			tc.mutate(&sc)
+			sc = sc.WithDefaults()
+			err := sc.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	u := sampleStream()
+	sc := Scenario{
+		Name:        "roundtrip",
+		ThinkTime:   0.75,
+		Populations: []int{5, 10, 20},
+		Tiers: []TierSpec{
+			{Name: "front", Mean: 0.008, IndexOfDispersion: 4, P95: 0.02},
+			{Name: "db", Samples: &u, Visits: 1.5},
+		},
+		Workload: &WorkloadSpec{
+			Mix: "shopping", Tiers: 2, Duration: 600, Warmup: 60,
+			Cooldown: ZeroWindow, Seed: 42, Replicas: 2, KeepSamples: true,
+		},
+		Solvers: []SolverKind{SolverMAP, SolverMVA, SolverSim},
+		Planner: &PlannerOptions{},
+	}
+	sc.Planner.Solver.Tol = 1e-8
+
+	data, err := sc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("round trip mismatch:\nbefore %+v\nafter  %+v", sc, back)
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseScenario([]byte(`{"think_time": 0.5, "thik_time": 1}`)); err == nil {
+		t.Fatal("expected unknown-field error")
+	}
+	if _, err := ParseScenario([]byte(`{"think_time": 0.5} {"x":1}`)); err == nil {
+		t.Fatal("expected trailing-data error")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList(" 25, 50,100 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{25, 50, 100}) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ParseIntList("25,abc"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ParseIntList(" , "); err == nil {
+		t.Fatal("expected empty-list error")
+	}
+}
+
+func TestCLIWindowSentinel(t *testing.T) {
+	if got := CLIWindow(0, true); got != ZeroWindow {
+		t.Fatalf("explicit zero -> %v, want ZeroWindow", got)
+	}
+	if got := CLIWindow(0, false); got != 0 {
+		t.Fatalf("unset -> %v, want 0 (library default)", got)
+	}
+	if got := CLIWindow(30, true); got != 30 {
+		t.Fatalf("explicit 30 -> %v", got)
+	}
+}
+
+func TestScenarioBuilder(t *testing.T) {
+	u := sampleStream()
+	sc, err := NewScenarioBuilder().
+		Name("built").
+		ThinkTime(0.5).
+		PopulationList("10,20").
+		SampleTier("", u).
+		SampleTier("", u).
+		TierNames("web,db").
+		Solvers(SolverMAP, SolverMVA).
+		SolverTolerance(1e-8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tiers[0].Name != "web" || sc.Tiers[1].Name != "db" {
+		t.Fatalf("tier names not applied: %+v", sc.Tiers)
+	}
+	if sc.Planner == nil || sc.Planner.Solver.Tol != 1e-8 {
+		t.Fatalf("solver tolerance not applied: %+v", sc.Planner)
+	}
+	if !reflect.DeepEqual(sc.Populations, []int{10, 20}) {
+		t.Fatalf("populations %v", sc.Populations)
+	}
+
+	// Name-count mismatch fails.
+	if _, err := NewScenarioBuilder().
+		ThinkTime(0.5).PopulationList("10").
+		SampleTier("", u).TierNames("a,b,c").Build(); err == nil {
+		t.Fatal("expected tier-name mismatch error")
+	}
+
+	// Collected parse errors surface at Build.
+	if _, err := NewScenarioBuilder().
+		ThinkTime(0.5).PopulationList("nope").
+		SampleTier("", u).Build(); err == nil {
+		t.Fatal("expected population parse error")
+	}
+
+	// Workload-backed scenario via builder.
+	ws, err := NewScenarioBuilder().
+		ThinkTime(0.5).
+		Populations(30).
+		Workload("ordering", 3).
+		Duration(600).
+		Window(0, true, 30, true).
+		Seed(7).
+		Replicas(2).
+		Solvers(SolverCrossValidate).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Workload.Warmup != ZeroWindow || ws.Workload.Cooldown != 30 {
+		t.Fatalf("window mapping: %+v", ws.Workload)
+	}
+	if ws.Workload.Mix != "ordering" || ws.Workload.Tiers != 3 {
+		t.Fatalf("workload: %+v", ws.Workload)
+	}
+}

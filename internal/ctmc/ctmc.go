@@ -6,6 +6,7 @@
 package ctmc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,19 +18,19 @@ import (
 type Options struct {
 	// Tol is the convergence threshold on the residual ||pi*Q||_inf
 	// relative to the largest transition rate (default 1e-10).
-	Tol float64
+	Tol float64 `json:"tol,omitempty"`
 	// MaxIter bounds the number of sweeps (default 100000).
-	MaxIter int
+	MaxIter int `json:"max_iter,omitempty"`
 	// DenseCutoff is the dimension below which a direct dense solve is
 	// used (default 512).
-	DenseCutoff int
+	DenseCutoff int `json:"dense_cutoff,omitempty"`
 	// Initial optionally seeds the iterative solvers with a starting
 	// distribution of the chain's dimension — e.g. the stationary vector
 	// of a nearby chain, as in warm-started population sweeps. It is
 	// copied and renormalized before use; negative entries are clamped to
 	// zero. A mismatched length or non-positive total mass falls back to
 	// the uniform start. The dense direct solve ignores it.
-	Initial []float64
+	Initial []float64 `json:"initial,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +137,15 @@ func initialVector(n int, opts Options) []float64 {
 // Gauss-Seidel on the transposed balance equations, falling back to
 // uniformized power iteration if Gauss-Seidel stalls.
 func SteadyState(q *matrix.CSR, opts Options) (Result, error) {
+	return SteadyStateCtx(context.Background(), q, opts)
+}
+
+// SteadyStateCtx is SteadyState with cooperative cancellation: the
+// iterative solvers poll ctx once per sweep and return ctx.Err() when the
+// context is done, so a canceled solve stops within one sweep. The dense
+// direct path (small chains) runs to completion regardless — it is
+// microseconds of work.
+func SteadyStateCtx(ctx context.Context, q *matrix.CSR, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if q.N <= opts.DenseCutoff {
 		pi, err := steadyStateDense(q)
@@ -159,7 +169,7 @@ func SteadyState(q *matrix.CSR, opts Options) (Result, error) {
 	if gsOpts.MaxIter > 1500 {
 		gsOpts.MaxIter = 1500
 	}
-	res, err := gaussSeidel(q, st, gsOpts)
+	res, err := gaussSeidel(ctx, q, st, gsOpts)
 	if err == nil {
 		return res, nil
 	}
@@ -169,7 +179,7 @@ func SteadyState(q *matrix.CSR, opts Options) (Result, error) {
 	if len(res.Pi) == q.N {
 		opts.Initial = res.Pi
 	}
-	return powerIteration(q, st, opts)
+	return powerIteration(ctx, q, st, opts)
 }
 
 // steadyStateDense solves the balance equations directly.
@@ -204,7 +214,7 @@ func steadyStateDense(q *matrix.CSR) ([]float64, error) {
 // contracts, which makes the final iterate the effective warm start for
 // the power fallback (empirically much better than a lower-residual
 // iterate from earlier in the run).
-func gaussSeidel(q *matrix.CSR, st *iterState, opts Options) (Result, error) {
+func gaussSeidel(ctx context.Context, q *matrix.CSR, st *iterState, opts Options) (Result, error) {
 	n := q.N
 	qt := st.qt
 	pi := initialVector(n, opts)
@@ -214,6 +224,9 @@ func gaussSeidel(q *matrix.CSR, st *iterState, opts Options) (Result, error) {
 	}
 	lastRes := math.Inf(1)
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		maxDelta := 0.0
 		for i := 0; i < n; i++ {
 			d := qt.Diag(i) // = q_{ii} <= 0
@@ -254,7 +267,7 @@ func gaussSeidel(q *matrix.CSR, st *iterState, opts Options) (Result, error) {
 // The product pi*Q is computed as Q^T * pi^T on the pre-transposed matrix:
 // row-ordered accumulation is markedly faster than the scattered writes of
 // a direct vector-matrix product on large chains.
-func powerIteration(q *matrix.CSR, st *iterState, opts Options) (Result, error) {
+func powerIteration(ctx context.Context, q *matrix.CSR, st *iterState, opts Options) (Result, error) {
 	n := q.N
 	lambda := q.MaxAbsDiag() * 1.02
 	if lambda == 0 {
@@ -264,6 +277,9 @@ func powerIteration(q *matrix.CSR, st *iterState, opts Options) (Result, error) 
 	pi := initialVector(n, opts)
 	next := make([]float64, n)
 	for it := 1; it <= opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		// next = pi + (pi*Q)/lambda, with pi*Q computed as Q^T*pi.
 		qt.MulVecTo(next, pi)
 		sum := 0.0

@@ -1,0 +1,54 @@
+package ctmc
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSteadyStateCtxCanceled: a canceled context stops the iterative
+// solver within one sweep and surfaces ctx.Err() (not ErrNoConvergence).
+func TestSteadyStateCtxCanceled(t *testing.T) {
+	q := mm1kGenerator(1.0, 1.5, 2000) // above DenseCutoff -> iterative path
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SteadyStateCtx(ctx, q, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SteadyStateCtx returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSteadyStateCtxDensePathIgnoresCancel: small chains solve directly;
+// the microseconds of dense work complete even under a canceled context
+// (documented behavior).
+func TestSteadyStateCtxDensePathIgnoresCancel(t *testing.T) {
+	q := mm1kGenerator(1.0, 1.5, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SteadyStateCtx(ctx, q, Options{})
+	if err != nil {
+		t.Fatalf("dense path failed under canceled context: %v", err)
+	}
+	if len(res.Pi) != 21 {
+		t.Fatalf("dense path returned %d states", len(res.Pi))
+	}
+}
+
+// TestSteadyStateCtxBackgroundMatchesLegacy: the ctx-aware entry point
+// with a background context is the legacy solver.
+func TestSteadyStateCtxBackgroundMatchesLegacy(t *testing.T) {
+	q := mm1kGenerator(0.8, 1.0, 600)
+	a, err := SteadyState(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SteadyStateCtx(context.Background(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pi {
+		if a.Pi[i] != b.Pi[i] {
+			t.Fatalf("pi[%d] differs: %v vs %v", i, a.Pi[i], b.Pi[i])
+		}
+	}
+}

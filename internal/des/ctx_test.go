@@ -1,0 +1,49 @@
+package des
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunUntilCtxCanceled: a canceled context stops a self-replenishing
+// calendar within the polling granularity instead of running to the
+// horizon.
+func TestRunUntilCtxCanceled(t *testing.T) {
+	s := NewSim()
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		s.Schedule(1, tick)
+	}
+	s.Schedule(0, tick)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.RunUntilCtx(ctx, 1e12)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilCtx returned %v, want context.Canceled", err)
+	}
+	if fired == 0 || fired > 2*ctxCheckEvery {
+		t.Fatalf("fired %d events before noticing cancellation (check interval %d)", fired, ctxCheckEvery)
+	}
+}
+
+// TestRunUntilCtxBackground: with a background context the ctx-aware
+// loop behaves exactly like RunUntil, including advancing the clock to
+// the horizon when idle.
+func TestRunUntilCtxBackground(t *testing.T) {
+	s := NewSim()
+	var fired int
+	s.Schedule(2, func() { fired++ })
+	if err := s.RunUntilCtx(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock at %v, want horizon 10", s.Now())
+	}
+}

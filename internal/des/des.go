@@ -7,6 +7,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -104,6 +105,22 @@ func (s *Sim) ScheduleAt(t float64, fn func()) *Event {
 // RunUntil executes events in order until the calendar is empty or the
 // next event is after t; the clock is left at min(t, last event time).
 func (s *Sim) RunUntil(t float64) {
+	// context.Background() is never canceled, so the error is impossible.
+	_ = s.RunUntilCtx(context.Background(), t)
+}
+
+// ctxCheckEvery is how many events RunUntilCtx executes between context
+// checks: frequent enough that cancellation lands within microseconds of
+// simulated work, rare enough that the check cost is invisible next to
+// event dispatch.
+const ctxCheckEvery = 1024
+
+// RunUntilCtx is RunUntil with cooperative cancellation: every
+// ctxCheckEvery events it polls ctx and, when the context is done,
+// abandons the remaining calendar and returns ctx.Err(). The simulation
+// is left mid-run and should be discarded.
+func (s *Sim) RunUntilCtx(ctx context.Context, t float64) error {
+	sinceCheck := 0
 	for len(s.events) > 0 {
 		next := s.events[0]
 		if next.time > t {
@@ -116,10 +133,17 @@ func (s *Sim) RunUntil(t float64) {
 		s.now = next.time
 		s.fired++
 		next.fn()
+		if sinceCheck++; sinceCheck >= ctxCheckEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	if s.now < t {
 		s.now = t
 	}
+	return nil
 }
 
 // Drain executes every remaining event; the clock ends at the time of the

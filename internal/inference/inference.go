@@ -20,27 +20,27 @@ import (
 type Characterization struct {
 	// MeanServiceTime is the per-request mean service demand (seconds),
 	// from the utilization law.
-	MeanServiceTime float64
+	MeanServiceTime float64 `json:"mean_service_time"`
 	// IndexOfDispersion is the estimate of I from the Figure 2 algorithm.
-	IndexOfDispersion float64
+	IndexOfDispersion float64 `json:"index_of_dispersion"`
 	// P95ServiceTime is the busy-period-based 95th-percentile estimate.
-	P95ServiceTime float64
+	P95ServiceTime float64 `json:"p95_service_time"`
 	// Converged reports whether the I estimation formally converged
 	// (false: the last stable value was used, as an operator would).
-	Converged bool
+	Converged bool `json:"converged"`
 	// WindowSeconds is the busy-time window at which I was taken.
-	WindowSeconds float64
+	WindowSeconds float64 `json:"window_seconds"`
 	// Samples is the number of measurement periods used.
-	Samples int
+	Samples int `json:"samples"`
 	// MeanUtilization is the average measured utilization, a sanity
 	// indicator (estimates from a nearly idle server are fragile).
-	MeanUtilization float64
+	MeanUtilization float64 `json:"mean_utilization"`
 }
 
 // Options tunes the characterization.
 type Options struct {
 	// Dispersion configures the Figure 2 estimator.
-	Dispersion trace.DispersionOptions
+	Dispersion trace.DispersionOptions `json:"dispersion,omitempty"`
 }
 
 // Characterize runs the full Section 4.1 estimation pipeline on one

@@ -1,6 +1,7 @@
 package mapqn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -132,7 +133,7 @@ func threeTierModel(t *testing.T, customers int, idle bool) (NetworkModel, []*ma
 func TestDirectAssemblyMatchesTriplet(t *testing.T) {
 	for _, idle := range []bool{false, true} {
 		m, maps := threeTierModel(t, 7, idle)
-		direct, _, err := buildGeneratorN(m, maps)
+		direct, _, err := buildGeneratorN(context.Background(), m, maps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func TestDirectAssemblyMatchesTriplet(t *testing.T) {
 func TestDirectAssemblyZeroThinkTime(t *testing.T) {
 	m, maps := threeTierModel(t, 3, false)
 	m.ThinkTime = 0
-	direct, _, err := buildGeneratorN(m, maps)
+	direct, _, err := buildGeneratorN(context.Background(), m, maps)
 	if err != nil {
 		t.Fatal(err)
 	}

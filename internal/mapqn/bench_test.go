@@ -1,6 +1,7 @@
 package mapqn
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/markov"
@@ -38,7 +39,7 @@ func BenchmarkGeneratorAssembly(b *testing.B) {
 	b.Run("direct", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			gen, _, err := buildGeneratorN(m, maps)
+			gen, _, err := buildGeneratorN(context.Background(), m, maps)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -28,14 +28,15 @@ import (
 // Both evaluations cost O(N*K) instead of a CTMC over the full
 // population-phase lattice, so they scale to arbitrary populations.
 type NetworkBoundsResult struct {
-	Customers int
-	UpperX    float64
-	LowerX    float64
+	Customers int     `json:"customers"`
+	UpperX    float64 `json:"upper_x"`
+	LowerX    float64 `json:"lower_x"`
 	// UpperDemands[i] and LowerDemands[i] are the per-station demands the
 	// two product-form evaluations used.
-	UpperDemands, LowerDemands []float64
+	UpperDemands []float64 `json:"upper_demands"`
+	LowerDemands []float64 `json:"lower_demands"`
 	// StationNames labels the demand slices.
-	StationNames []string
+	StationNames []string `json:"station_names"`
 }
 
 // NetworkBounds computes throughput bounds for the K-station network at

@@ -1,6 +1,7 @@
 package mapqn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -101,26 +102,26 @@ func (m NetworkModel) StationNames() []string {
 type NetworkMetrics struct {
 	// Throughput is the system throughput X (completions of full
 	// think-to-think cycles per second).
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 	// ResponseTime is the mean end-to-end response time N/X - Z.
-	ResponseTime float64
+	ResponseTime float64 `json:"response_time"`
 	// Utils[i] is the busy probability of station i.
-	Utils []float64
+	Utils []float64 `json:"utils"`
 	// QueueLens[i] is the mean queue length at station i (in service or
 	// waiting).
-	QueueLens []float64
+	QueueLens []float64 `json:"queue_lens"`
 	// QueueDists[i][k] = P(k jobs at station i), the stationary
 	// queue-length distribution exposing burstiness-induced heavy tails.
-	QueueDists [][]float64
+	QueueDists [][]float64 `json:"queue_dists"`
 	// Thinking is the mean number of customers in think state.
-	Thinking float64
+	Thinking float64 `json:"thinking"`
 	// StationNames labels the slices above.
-	StationNames []string
+	StationNames []string `json:"station_names"`
 	// States is the size of the underlying CTMC.
-	States int
+	States int `json:"states"`
 	// SolverIterations and SolverMethod report how the chain was solved.
-	SolverIterations int
-	SolverMethod     string
+	SolverIterations int    `json:"solver_iterations"`
+	SolverMethod     string `json:"solver_method"`
 }
 
 // AsTwoTier converts K=2 network metrics to the legacy two-station
@@ -309,7 +310,14 @@ const maxStates = 50_000_000
 // SolveNetwork builds and solves the K-station CTMC exactly, returning
 // stationary per-station metrics.
 func SolveNetwork(m NetworkModel, opts ctmc.Options) (NetworkMetrics, error) {
-	met, _, err := solveNetwork(m, opts, nil)
+	return SolveNetworkCtx(context.Background(), m, opts)
+}
+
+// SolveNetworkCtx is SolveNetwork with cooperative cancellation: both the
+// generator assembly and the iterative steady-state solve poll ctx and
+// return ctx.Err() promptly when the context is done.
+func SolveNetworkCtx(ctx context.Context, m NetworkModel, opts ctmc.Options) (NetworkMetrics, error) {
+	met, _, err := solveNetwork(ctx, m, opts, nil)
 	return met, err
 }
 
@@ -323,7 +331,7 @@ type networkSolution struct {
 // solveNetwork is the full solver: when warm is non-nil and compatible
 // (same station phases), its stationary vector is embedded into the new
 // population's state space and seeds the iterative solver.
-func solveNetwork(m NetworkModel, opts ctmc.Options, warm *networkSolution) (NetworkMetrics, *networkSolution, error) {
+func solveNetwork(ctx context.Context, m NetworkModel, opts ctmc.Options, warm *networkSolution) (NetworkMetrics, *networkSolution, error) {
 	if err := m.Validate(); err != nil {
 		return NetworkMetrics{}, nil, err
 	}
@@ -335,7 +343,7 @@ func solveNetwork(m NetworkModel, opts ctmc.Options, warm *networkSolution) (Net
 		}
 		maps[i] = em
 	}
-	gen, space, err := buildGeneratorN(m, maps)
+	gen, space, err := buildGeneratorN(ctx, m, maps)
 	if err != nil {
 		return NetworkMetrics{}, nil, err
 	}
@@ -344,8 +352,11 @@ func solveNetwork(m NetworkModel, opts ctmc.Options, warm *networkSolution) (Net
 			opts.Initial = init
 		}
 	}
-	res, err := ctmc.SteadyState(gen, opts)
+	res, err := ctmc.SteadyStateCtx(ctx, gen, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			return NetworkMetrics{}, nil, ctx.Err()
+		}
 		return NetworkMetrics{}, nil, fmt.Errorf("mapqn: steady-state solve failed: %w", err)
 	}
 	met, err := collectMetricsN(m, maps, space, res)
@@ -409,7 +420,7 @@ func embedPi(from, to *stateSpaceN, pi []float64) []float64 {
 // the CSR arrays with the diagonal accumulated in place, and the handful
 // of per-row columns is insertion-sorted. No triplet buffer, no global
 // sort, no per-state decode.
-func buildGeneratorN(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpaceN, error) {
+func buildGeneratorN(ctx context.Context, m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpaceN, error) {
 	k := len(maps)
 	n := m.Customers
 	phases := make([]int, k)
@@ -462,6 +473,9 @@ func buildGeneratorN(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpa
 	complBase := make([]int, k)
 	row := 0
 	for { // one iteration per population vector, in compRank order
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		total := 0
 		for _, v := range pop {
 			total += v
@@ -631,16 +645,36 @@ func collectMetricsN(m NetworkModel, maps []*markov.MAP, space *stateSpaceN, res
 // same residual tolerance, so warm-started results match cold-started
 // ones to within solver tolerance.
 func SolveNetworkSweep(stations []Station, thinkTime float64, customers []int, opts ctmc.Options) ([]NetworkMetrics, error) {
+	return SolveNetworkSweepCtx(context.Background(), stations, thinkTime, customers, opts, nil)
+}
+
+// SweepProgress observes a population sweep: it is called once after each
+// population's solve completes, with the index into the sweep, the
+// population just solved, and its metrics. Callbacks run synchronously on
+// the solving goroutine.
+type SweepProgress func(index, population int, met NetworkMetrics)
+
+// SolveNetworkSweepCtx is SolveNetworkSweep with cooperative cancellation
+// and an optional progress callback (nil to disable). Cancellation is
+// polled inside each population's assembly and solve, so a canceled sweep
+// returns ctx.Err() within one sweep step.
+func SolveNetworkSweepCtx(ctx context.Context, stations []Station, thinkTime float64, customers []int, opts ctmc.Options, progress SweepProgress) ([]NetworkMetrics, error) {
 	out := make([]NetworkMetrics, 0, len(customers))
 	var prev *networkSolution
-	for _, n := range customers {
+	for i, n := range customers {
 		m := NetworkModel{Stations: stations, ThinkTime: thinkTime, Customers: n}
-		met, sol, err := solveNetwork(m, opts, prev)
+		met, sol, err := solveNetwork(ctx, m, opts, prev)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("mapqn: population %d: %w", n, err)
 		}
 		out = append(out, met)
 		prev = sol
+		if progress != nil {
+			progress(i, n, met)
+		}
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package mapqn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestGeneratorMatchesLegacyTwoTier(t *testing.T) {
 	legacyGen, _ := buildGenerator(m)
 	nm := m.Network()
 	maps := []*markov.MAP{m.Front, m.DB}
-	genericGen, _, err := buildGeneratorN(nm, maps)
+	genericGen, _, err := buildGeneratorN(context.Background(), nm, maps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestNetworkGeneratorValid(t *testing.T) {
 	for i, st := range nm.Stations {
 		maps[i] = st.MAP
 	}
-	gen, _, err := buildGeneratorN(nm, maps)
+	gen, _, err := buildGeneratorN(context.Background(), nm, maps)
 	if err != nil {
 		t.Fatal(err)
 	}

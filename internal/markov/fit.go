@@ -27,22 +27,22 @@ const (
 // the defaults implied by the paper.
 type FitOptions struct {
 	// Policy selects among near-tied candidates (default SelectClosestP95).
-	Policy SelectionPolicy
+	Policy SelectionPolicy `json:"policy,omitempty"`
 	// GridPoints is the number of SCV candidates scanned (default 200).
-	GridPoints int
+	GridPoints int `json:"grid_points,omitempty"`
 	// MaxSCV caps the marginal SCV considered (default min(I, 500)).
-	MaxSCV float64
+	MaxSCV float64 `json:"max_scv,omitempty"`
 	// MaxGamma caps the geometric autocorrelation decay (default 0.99,
 	// i.e., burstiness persistence up to ~100 consecutive requests).
 	// Candidates with gamma near 1 and SCV near 1 are degenerate — they
 	// match I through vanishingly slow phase switching, which both
 	// misrepresents the measured process and makes the queueing model's
 	// Markov chain nearly decomposable (numerically intractable).
-	MaxGamma float64
+	MaxGamma float64 `json:"max_gamma,omitempty"`
 	// TieTolerance treats candidates whose p95 error is within this
 	// relative distance of the best as ties for SelectMaxLag1
 	// (default 0.05).
-	TieTolerance float64
+	TieTolerance float64 `json:"tie_tolerance,omitempty"`
 }
 
 func (o FitOptions) withDefaults() FitOptions {

@@ -79,12 +79,12 @@ func ModelN(demands []float64, names []string, z float64) Network {
 
 // Result carries the MVA performance metrics at a population level.
 type Result struct {
-	Customers    int
-	Throughput   float64
-	ResponseTime float64   // total response time excluding think time
-	QueueLengths []float64 // mean number at each queueing station
-	Residence    []float64 // mean residence time at each queueing station
-	Utilizations []float64 // throughput * demand per station
+	Customers    int       `json:"customers"`
+	Throughput   float64   `json:"throughput"`
+	ResponseTime float64   `json:"response_time"` // total response time excluding think time
+	QueueLengths []float64 `json:"queue_lengths"` // mean number at each queueing station
+	Residence    []float64 `json:"residence"`     // mean residence time at each queueing station
+	Utilizations []float64 `json:"utilizations"`  // throughput * demand per station
 }
 
 // Solve runs the exact single-class MVA recursion up to n customers and

@@ -6,13 +6,13 @@ import "math"
 // RunReplicas-style multi-replica experiments report per metric.
 type Interval struct {
 	// Mean is the sample mean across replicas.
-	Mean float64
+	Mean float64 `json:"mean"`
 	// HalfWidth is the half-width of the confidence interval; the interval
 	// is [Mean-HalfWidth, Mean+HalfWidth]. Zero when N < 2 (a single
 	// replica carries no variability information).
-	HalfWidth float64
+	HalfWidth float64 `json:"half_width"`
 	// N is the number of observations the interval is built from.
-	N int
+	N int `json:"n"`
 }
 
 // Lo returns the lower confidence bound.

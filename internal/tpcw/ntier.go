@@ -1,6 +1,7 @@
 package tpcw
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -378,6 +379,13 @@ func (e *engineN) onComplete(tier int, j *des.Job) {
 // RunN executes one N-tier testbed experiment. The legacy two-tier Run is
 // a thin wrapper over this engine (verified bit-identical on fixed seeds).
 func RunN(cfg ConfigN) (*ResultN, error) {
+	return RunNCtx(context.Background(), cfg)
+}
+
+// RunNCtx is RunN with cooperative cancellation: the event loop polls ctx
+// every few thousand events and returns ctx.Err() when the context is
+// done, discarding the partial run.
+func RunNCtx(ctx context.Context, cfg ConfigN) (*ResultN, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -460,7 +468,9 @@ func RunN(cfg ConfigN) (*ResultN, error) {
 		eb := &emulatedBrowser{id: i, current: Home}
 		sim.Schedule(e.thinkSrc.Exp(cfg.ThinkTime), func() { e.submit(eb) })
 	}
-	sim.RunUntil(cfg.Duration)
+	if err := sim.RunUntilCtx(ctx, cfg.Duration); err != nil {
+		return nil, err
+	}
 
 	// Collect results.
 	res := e.res

@@ -310,7 +310,7 @@ func TestWindowPeriodsRoundsUp(t *testing.T) {
 	}{
 		{0, 5, 0},
 		{30, 5, 6},
-		{63, 5, 13},  // rounds up, never truncates warm-up into the window
+		{63, 5, 13},   // rounds up, never truncates warm-up into the window
 		{0.7, 0.1, 7}, // float division 0.7/0.1 = 6.999... still exact
 		{ZeroWindow, 5, 0},
 	}

@@ -1,6 +1,7 @@
 package tpcw
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,6 +50,20 @@ type ReplicaResult struct {
 // the worker count: only the assignment of replicas to goroutines
 // changes, never a replica's seed or its slot in the output.
 func RunReplicas(cfg ConfigN, replicas, workers int) (*ReplicaResult, error) {
+	return RunReplicasCtx(context.Background(), cfg, replicas, workers, nil)
+}
+
+// ReplicaProgress observes a replica set: it is called once per completed
+// replica with the number done so far and the total. Calls are serialized
+// (a mutex guards them) but arrive from worker goroutines, so callbacks
+// must not assume a particular goroutine.
+type ReplicaProgress func(done, total int)
+
+// RunReplicasCtx is RunReplicas with cooperative cancellation and an
+// optional progress callback (nil to disable). When ctx is canceled,
+// in-flight replicas stop within a few thousand simulated events, every
+// worker goroutine drains, and the call returns ctx.Err().
+func RunReplicasCtx(ctx context.Context, cfg ConfigN, replicas, workers int, progress ReplicaProgress) (*ReplicaResult, error) {
 	if replicas < 1 {
 		return nil, fmt.Errorf("tpcw: replicas %d must be >= 1", replicas)
 	}
@@ -72,6 +87,8 @@ func RunReplicas(cfg ConfigN, replicas, workers int) (*ReplicaResult, error) {
 	results := make([]*ResultN, replicas)
 	errs := make([]error, replicas)
 	var next int64
+	var progressMu sync.Mutex
+	done := 0 // guarded by progressMu so reported counts stay monotonic
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -82,15 +99,28 @@ func RunReplicas(cfg ConfigN, replicas, workers int) (*ReplicaResult, error) {
 				if i >= replicas {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue // keep claiming slots so wg drains fast
+				}
 				// cfg was deep-copied by WithDefaults above; the per-
 				// replica copy only diverges in its seed.
 				c := cfg
 				c.Seed = seeds[i]
-				results[i], errs[i] = RunN(c)
+				results[i], errs[i] = RunNCtx(ctx, c)
+				if errs[i] == nil && progress != nil {
+					progressMu.Lock()
+					done++
+					progress(done, replicas)
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("tpcw: replica %d (seed %d): %w", i, seeds[i], err)

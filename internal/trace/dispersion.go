@@ -16,11 +16,11 @@ import (
 type UtilizationSamples struct {
 	// PeriodSeconds is the sampling resolution T (e.g., 60 s, or 5 s for
 	// the Diagnostics tool used in the paper's testbed).
-	PeriodSeconds float64
+	PeriodSeconds float64 `json:"period_seconds"`
 	// Utilization[k] is the average utilization in period k, in [0,1].
-	Utilization []float64
+	Utilization []float64 `json:"utilization"`
 	// Completions[k] is the number of requests completed in period k.
-	Completions []float64
+	Completions []float64 `json:"completions"`
 }
 
 // Validate checks structural consistency of the samples.

@@ -239,12 +239,12 @@ func (t T) IndexOfDispersionACF(maxLag int) (float64, error) {
 type DispersionOptions struct {
 	// Tol is the convergence tolerance on successive Y(t) values
 	// (paper default 0.20).
-	Tol float64
+	Tol float64 `json:"tol,omitempty"`
 	// MinWindows is the minimum number of count observations required for
 	// a window size to be trusted (paper: 100).
-	MinWindows int
+	MinWindows int `json:"min_windows,omitempty"`
 	// MaxGrowth caps the number of window enlargements (safety bound).
-	MaxGrowth int
+	MaxGrowth int `json:"max_growth,omitempty"`
 }
 
 func (o DispersionOptions) withDefaults() DispersionOptions {

@@ -9,6 +9,7 @@
 package validate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,9 @@ type Options struct {
 	ThinkTime float64
 	// Planner tunes the estimation, fitting, and solver stages.
 	Planner core.PlannerOptions
+	// Progress, when non-nil, observes replica completions during the
+	// simulation stage (calls are serialized; see tpcw.ReplicaProgress).
+	Progress tpcw.ReplicaProgress
 }
 
 // TierAccuracy compares one tier's simulated and modeled utilization.
@@ -80,6 +84,13 @@ type Report struct {
 // MAP(2) per tier, solve the K-station MAP network and the MVA baseline
 // at cfg.EBs, and compare against the simulation.
 func CrossValidate(cfg tpcw.ConfigN, opts Options) (*Report, error) {
+	return CrossValidateCtx(context.Background(), cfg, opts)
+}
+
+// CrossValidateCtx is CrossValidate with cooperative cancellation: both
+// the replicated simulation and the CTMC solve poll ctx and return
+// ctx.Err() promptly when the context is done.
+func CrossValidateCtx(ctx context.Context, cfg tpcw.ConfigN, opts Options) (*Report, error) {
 	if opts.Replicas == 0 {
 		opts.Replicas = 3
 	}
@@ -87,24 +98,33 @@ func CrossValidate(cfg tpcw.ConfigN, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("validate: replicas %d must be >= 1", opts.Replicas)
 	}
 	cfg = cfg.WithDefaults()
-	rr, err := tpcw.RunReplicas(cfg, opts.Replicas, opts.Workers)
+	rr, err := tpcw.RunReplicasCtx(ctx, cfg, opts.Replicas, opts.Workers, opts.Progress)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("validate: simulation: %w", err)
 	}
-	return compare(cfg, rr, opts)
+	return compare(ctx, cfg, rr, opts)
 }
 
 // CrossValidateReplicas is CrossValidate starting from an already
 // completed replica set (e.g., to evaluate several model variants against
 // one simulation).
 func CrossValidateReplicas(rr *tpcw.ReplicaResult, opts Options) (*Report, error) {
+	return CrossValidateReplicasCtx(context.Background(), rr, opts)
+}
+
+// CrossValidateReplicasCtx is CrossValidateReplicas with cooperative
+// cancellation of the modeling stage.
+func CrossValidateReplicasCtx(ctx context.Context, rr *tpcw.ReplicaResult, opts Options) (*Report, error) {
 	if rr == nil || len(rr.Results) == 0 {
 		return nil, errors.New("validate: no replica results")
 	}
-	return compare(rr.Config, rr, opts)
+	return compare(ctx, rr.Config, rr, opts)
 }
 
-func compare(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts Options) (*Report, error) {
+func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts Options) (*Report, error) {
 	z := opts.ThinkTime
 	if z == 0 {
 		z = cfg.ThinkTime
@@ -121,8 +141,11 @@ func compare(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts Options) (*Report, e
 	if err != nil {
 		return nil, fmt.Errorf("validate: plan: %w", err)
 	}
-	preds, err := plan.Predict([]int{cfg.EBs})
+	preds, err := plan.PredictCtx(ctx, []int{cfg.EBs}, nil)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("validate: model solve: %w", err)
 	}
 	pred := preds[0]

@@ -3,8 +3,8 @@ package validate
 import (
 	"testing"
 
-	"repro/internal/ctmc"
 	"repro/internal/core"
+	"repro/internal/ctmc"
 	"repro/internal/tpcw"
 )
 

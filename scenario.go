@@ -1,0 +1,488 @@
+package burst
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/mapqn"
+	"repro/internal/mva"
+	"repro/internal/stats"
+	"repro/internal/tpcw"
+	"repro/internal/validate"
+)
+
+// The declarative Scenario pipeline: one data structure describes the
+// whole experiment — tiers, workload, population sweep, solver
+// selection — and Run executes it through the library's
+// characterize → fit → solve → simulate machinery, returning a unified
+// JSON-serializable Report. This is the primary API; the function-per-
+// step entry points below remain as deprecated thin wrappers.
+type (
+	// Scenario declares one end-to-end experiment.
+	Scenario = core.Scenario
+	// TierSpec declares one modeled tier (explicit demand or samples).
+	TierSpec = core.TierSpec
+	// WorkloadSpec declares the simulated TPC-W testbed.
+	WorkloadSpec = core.WorkloadSpec
+	// SolverKind selects one evaluation method.
+	SolverKind = core.SolverKind
+	// ProgressEvent is one progress notification from a running scenario.
+	ProgressEvent = core.ProgressEvent
+	// ProgressFunc observes scenario execution.
+	ProgressFunc = core.ProgressFunc
+	// ScenarioBuilder accumulates CLI-style inputs into a Scenario.
+	ScenarioBuilder = core.ScenarioBuilder
+
+	// Report is the unified outcome of running a Scenario.
+	Report = core.Report
+	// PopulationReport carries every requested result at one population.
+	PopulationReport = core.PopulationReport
+	// TierReport summarizes one modeled tier's characterization and fit.
+	TierReport = core.TierReport
+	// SimPoint is the simulated ground truth at one population.
+	SimPoint = core.SimPoint
+	// ValidationPoint holds the sim-vs-model deltas at one population.
+	ValidationPoint = core.ValidationPoint
+	// TierValidation compares one tier's simulated and modeled
+	// utilization.
+	TierValidation = core.TierValidation
+)
+
+// Solver selections for Scenario.Solvers.
+const (
+	SolverMAP           = core.SolverMAP
+	SolverMVA           = core.SolverMVA
+	SolverBounds        = core.SolverBounds
+	SolverSim           = core.SolverSim
+	SolverCrossValidate = core.SolverCrossValidate
+)
+
+// ZeroWindow marks an explicitly empty warm-up/cool-down window in a
+// WorkloadSpec (and in the legacy TPCWConfig fields).
+const ZeroWindow = tpcw.ZeroWindow
+
+// Progress stage names, as reported in ProgressEvent.Stage.
+const (
+	StageSimulate     = core.StageSimulate
+	StageCharacterize = core.StageCharacterize
+	StageSolve        = core.StageSolve
+	StageValidate     = core.StageValidate
+	StageBounds       = core.StageBounds
+)
+
+// NewScenarioBuilder returns a builder that accumulates CLI-style inputs
+// into a Scenario.
+func NewScenarioBuilder() *ScenarioBuilder { return core.NewScenarioBuilder() }
+
+// ParseScenario decodes a Scenario from JSON, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) { return core.ParseScenario(data) }
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (Scenario, error) { return core.LoadScenario(path) }
+
+// ParseReport decodes a Report produced by Report.JSON.
+func ParseReport(data []byte) (*Report, error) { return core.ParseReport(data) }
+
+// progressEmitter serializes OnProgress callbacks across the runner's
+// stages (replica progress arrives from worker goroutines).
+type progressEmitter struct {
+	mu sync.Mutex
+	fn ProgressFunc
+}
+
+func (p *progressEmitter) emit(ev ProgressEvent) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.fn(ev)
+	p.mu.Unlock()
+}
+
+// Run executes a Scenario end to end and returns its Report. It is the
+// single entry point of the library's declarative API: the scenario's
+// solver selection decides which stages run —
+//
+//   - "map": exact K-station MAP network (CTMC), solved as one
+//     warm-started population sweep;
+//   - "mva": the classical product-form baseline;
+//   - "bounds": O(N*K) throughput brackets for very large populations;
+//   - "sim": the replicated N-tier TPC-W testbed simulation;
+//   - "crossvalidate": simulation plus the full measure → characterize →
+//     fit → solve loop, reporting model-vs-simulation deltas.
+//
+// All long-running stages poll ctx and return ctx.Err() promptly after
+// cancellation; sc.OnProgress (when set) observes replica completions and
+// per-population solves.
+func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Scenario: sc, Results: make([]PopulationReport, len(sc.Populations))}
+	for i, n := range sc.Populations {
+		rep.Results[i].Population = n
+	}
+	prog := &progressEmitter{fn: sc.OnProgress}
+	if sc.WantsModel() {
+		if err := runModelSolvers(ctx, sc, rep, prog); err != nil {
+			return nil, err
+		}
+	}
+	if sc.WantsSimulation() {
+		if err := runSimulationSolvers(ctx, sc, rep, prog); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// plannerOptions returns the scenario's planner options by value (the
+// zero value when unset).
+func plannerOptions(sc Scenario) core.PlannerOptions {
+	if sc.Planner != nil {
+		return *sc.Planner
+	}
+	return core.PlannerOptions{}
+}
+
+// resolveTierNames merges the three naming sources in precedence order:
+// TierSpec names, then Planner.TierNames, then positional defaults.
+func resolveTierNames(sc Scenario) ([]string, error) {
+	k := len(sc.Tiers)
+	names := core.DefaultTierNames(k)
+	if sc.Planner != nil && len(sc.Planner.TierNames) != 0 {
+		if len(sc.Planner.TierNames) != k {
+			return nil, fmt.Errorf("burst: %d planner tier names for %d tiers", len(sc.Planner.TierNames), k)
+		}
+		copy(names, sc.Planner.TierNames)
+	}
+	for i, spec := range sc.Tiers {
+		if spec.Name != "" {
+			names[i] = spec.Name
+		}
+	}
+	return names, nil
+}
+
+// characterizeTiers turns every TierSpec into the three-parameter
+// characterization the models consume: explicit specs are passed
+// through, sampled specs run the Section 4.1 estimation pipeline.
+func characterizeTiers(sc Scenario, prog *progressEmitter) ([]Characterization, error) {
+	popts := plannerOptions(sc)
+	chars := make([]Characterization, len(sc.Tiers))
+	for i, spec := range sc.Tiers {
+		if spec.Samples != nil {
+			c, err := inference.Characterize(*spec.Samples, popts.Inference)
+			if err != nil {
+				return nil, fmt.Errorf("burst: tier %d (%s): %w", i, spec.Name, err)
+			}
+			chars[i] = c
+		} else {
+			ix := spec.IndexOfDispersion
+			if ix == 0 {
+				ix = 1
+			}
+			chars[i] = Characterization{
+				MeanServiceTime:   spec.Mean,
+				IndexOfDispersion: ix,
+				P95ServiceTime:    spec.P95,
+				Converged:         true,
+			}
+		}
+		prog.emit(ProgressEvent{Stage: core.StageCharacterize, Step: i + 1, Total: len(sc.Tiers)})
+	}
+	return chars, nil
+}
+
+// runModelSolvers executes the analytical solvers (map, mva, bounds)
+// over the scenario's declared tiers.
+func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter) error {
+	chars, err := characterizeTiers(sc, prog)
+	if err != nil {
+		return err
+	}
+	names, err := resolveTierNames(sc)
+	if err != nil {
+		return err
+	}
+	rep.TierNames = names
+	popts := plannerOptions(sc)
+	popts.TierNames = names
+
+	needFit := sc.Wants(SolverMAP) || sc.Wants(SolverBounds)
+	if needFit {
+		plan, err := core.BuildPlanNFromCharacterizations(chars, sc.ThinkTime, popts)
+		if err != nil {
+			return err
+		}
+		applyVisits(plan, sc.Tiers)
+		rep.Tiers = tierReports(plan)
+		if sc.Wants(SolverMAP) {
+			preds, err := plan.PredictCtx(ctx, sc.Populations, func(idx, pop int, _ MAPNetworkMetricsN) {
+				prog.emit(ProgressEvent{Stage: core.StageSolve, Population: pop, Step: idx + 1, Total: len(sc.Populations)})
+			})
+			if err != nil {
+				return err
+			}
+			for i := range preds {
+				p := preds[i]
+				rep.Results[i].MAP = &p.MAP
+				if sc.Wants(SolverMVA) {
+					m := p.MVA
+					rep.Results[i].MVA = &m
+				}
+			}
+		} else if sc.Wants(SolverMVA) {
+			if err := solveMVA(plan.Baseline(), sc.Populations, rep); err != nil {
+				return err
+			}
+		}
+		if sc.Wants(SolverBounds) {
+			bounds, err := plan.Bounds(sc.Populations)
+			if err != nil {
+				return err
+			}
+			for i := range bounds {
+				b := bounds[i]
+				rep.Results[i].Bounds = &b
+				prog.emit(ProgressEvent{Stage: core.StageBounds, Population: b.Customers, Step: i + 1, Total: len(bounds)})
+			}
+		}
+		return nil
+	}
+
+	// MVA only: no MAP(2) fitting required — demands suffice.
+	rep.Tiers = make([]TierReport, len(chars))
+	demands := make([]float64, len(chars))
+	for i, c := range chars {
+		v := sc.Tiers[i].Visits
+		if v == 0 {
+			v = 1
+		}
+		demands[i] = v * c.MeanServiceTime
+		rep.Tiers[i] = TierReport{Name: names[i], Characterization: c, Demand: demands[i]}
+	}
+	return solveMVA(mva.ModelN(demands, names, sc.ThinkTime), sc.Populations, rep)
+}
+
+// solveMVA fills the per-population MVA column.
+func solveMVA(net mva.Network, populations []int, rep *Report) error {
+	for i, n := range populations {
+		res, err := mva.Solve(net, n)
+		if err != nil {
+			return fmt.Errorf("burst: MVA at %d EBs: %w", n, err)
+		}
+		rep.Results[i].MVA = &res
+	}
+	return nil
+}
+
+// applyVisits folds TierSpec visit ratios into a freshly built plan.
+func applyVisits(plan *PlanN, specs []TierSpec) {
+	for i := range plan.Tiers {
+		if v := specs[i].Visits; v > 0 {
+			plan.Tiers[i].Visits = v
+		}
+	}
+}
+
+// tierReports summarizes a plan's tiers for the report.
+func tierReports(plan *PlanN) []TierReport {
+	out := make([]TierReport, len(plan.Tiers))
+	for i, t := range plan.Tiers {
+		out[i] = TierReport{
+			Name:             t.Name,
+			Characterization: t.Characterization,
+			Demand:           t.Demand(),
+			FitSCV:           t.Fit.SCV,
+			FitGamma:         t.Fit.Gamma,
+			AchievedI:        t.Fit.AchievedI,
+			AchievedP95:      t.Fit.AchievedP95,
+		}
+	}
+	return out
+}
+
+// simConfig materializes the scenario's workload as a testbed
+// configuration (EBs is set per population by the caller).
+func simConfig(sc Scenario) (TPCWConfigN, error) {
+	wl := sc.Workload
+	mix, err := mixByName(wl.Mix)
+	if err != nil {
+		return TPCWConfigN{}, err
+	}
+	tiers, err := tpcw.DefaultTiers(mix, wl.Tiers)
+	if err != nil {
+		return TPCWConfigN{}, err
+	}
+	return TPCWConfigN{
+		Mix: mix, Tiers: tiers,
+		ThinkTime:       sc.ThinkTime,
+		Duration:        wl.Duration,
+		Warmup:          wl.Warmup,
+		Cooldown:        wl.Cooldown,
+		MonitorPeriod:   wl.MonitorPeriod,
+		Seed:            wl.Seed,
+		StructureWeight: wl.StructureWeight,
+	}, nil
+}
+
+// mixByName resolves a WorkloadSpec mix name.
+func mixByName(name string) (TPCWMix, error) {
+	switch name {
+	case "browsing":
+		return tpcw.BrowsingMix(), nil
+	case "shopping":
+		return tpcw.ShoppingMix(), nil
+	case "ordering":
+		return tpcw.OrderingMix(), nil
+	default:
+		return TPCWMix{}, fmt.Errorf("burst: unknown mix %q (want browsing, shopping or ordering)", name)
+	}
+}
+
+// runSimulationSolvers executes the simulation-backed solvers (sim,
+// crossvalidate) at every population.
+func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter) error {
+	cfg, err := simConfig(sc)
+	if err != nil {
+		return err
+	}
+	wl := sc.Workload
+	for i, n := range sc.Populations {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c := cfg
+		c.EBs = n
+		pop := n
+		rr, err := tpcw.RunReplicasCtx(ctx, c, wl.Replicas, wl.Workers, func(done, total int) {
+			prog.emit(ProgressEvent{Stage: core.StageSimulate, Population: pop, Step: done, Total: total})
+		})
+		if err != nil {
+			return err
+		}
+		rep.Results[i].Sim = simPoint(rr, wl.KeepSamples)
+		if sc.Wants(SolverCrossValidate) {
+			vrep, err := validate.CrossValidateReplicasCtx(ctx, rr, validate.Options{
+				Workers: wl.Workers,
+				Planner: plannerOptions(sc),
+			})
+			if err != nil {
+				return err
+			}
+			rep.Results[i].Validation = validationPoint(vrep)
+			prog.emit(ProgressEvent{Stage: core.StageValidate, Population: pop, Step: i + 1, Total: len(sc.Populations)})
+		}
+	}
+	return nil
+}
+
+// simPoint converts a replica set into the report's ground-truth column.
+func simPoint(rr *TPCWReplicaResult, keepSamples bool) *SimPoint {
+	sp := &SimPoint{
+		Replicas:         len(rr.Results),
+		Throughput:       rr.Throughput,
+		MeanResponse:     rr.MeanResponse,
+		TierUtil:         rr.AvgUtil,
+		TierNames:        rr.TierNames,
+		CompletedByType:  make([]int64, tpcw.NumTransactions),
+		TransactionNames: make([]string, tpcw.NumTransactions),
+	}
+	for t := tpcw.Transaction(0); t < tpcw.NumTransactions; t++ {
+		sp.TransactionNames[t] = t.String()
+		for _, res := range rr.Results {
+			sp.CompletedByType[t] += res.CompletedByType[t]
+		}
+	}
+	xs := make([]float64, len(rr.Results))
+	for r, res := range rr.Results {
+		xs[r] = res.P95Response
+	}
+	sp.P95Response = stats.MeanCI95(xs)
+	sp.ContentionFraction = make([]stats.Interval, len(rr.TierNames))
+	for i := range rr.TierNames {
+		for r, res := range rr.Results {
+			xs[r] = res.ContentionFraction[i]
+		}
+		sp.ContentionFraction[i] = stats.MeanCI95(xs)
+	}
+	if keepSamples {
+		sp.TierSamples = rr.TierSamples
+	}
+	return sp
+}
+
+// validationPoint converts a cross-validation report into the report's
+// delta column.
+func validationPoint(v *ValidationReport) *ValidationPoint {
+	vp := &ValidationPoint{
+		SimThroughput: v.SimThroughput,
+		MAPThroughput: v.MAPThroughput,
+		MVAThroughput: v.MVAThroughput,
+		MAPError:      v.MAPError,
+		MVAError:      v.MVAError,
+		MAPWithinCI:   v.MAPWithinCI,
+		States:        v.States,
+		Tiers:         make([]TierValidation, len(v.Tiers)),
+	}
+	for i, t := range v.Tiers {
+		vp.Tiers[i] = TierValidation{
+			Name:              t.Name,
+			SimUtil:           t.SimUtil,
+			MAPUtil:           t.MAPUtil,
+			MVAUtil:           t.MVAUtil,
+			MAPError:          t.MAPError,
+			MVAError:          t.MVAError,
+			IndexOfDispersion: t.Characterization.IndexOfDispersion,
+		}
+	}
+	return vp
+}
+
+// Canonical context-aware entry points. These are the N-tier surface
+// without the historical *N suffix: each delegates to the same internal
+// machinery as its deprecated counterpart, adding cooperative
+// cancellation.
+
+// SolveNetwork solves a closed K-station MAP queueing network exactly,
+// with cooperative cancellation.
+func SolveNetwork(ctx context.Context, m MAPNetworkModelN, opts SolverOptions) (MAPNetworkMetricsN, error) {
+	return mapqn.SolveNetworkCtx(ctx, m, opts)
+}
+
+// SolveNetworkSweep solves a K-station MAP network at each population as
+// one warm-started sweep, with cooperative cancellation and an optional
+// per-population progress callback (nil to disable).
+func SolveNetworkSweep(ctx context.Context, stations []Station, thinkTime float64, customers []int, opts SolverOptions, progress SweepProgress) ([]MAPNetworkMetricsN, error) {
+	return mapqn.SolveNetworkSweepCtx(ctx, stations, thinkTime, customers, opts, progress)
+}
+
+// SweepProgress observes a population sweep (see SolveNetworkSweep).
+type SweepProgress = mapqn.SweepProgress
+
+// ReplicaProgress observes replica completions (see SimulateReplicas).
+type ReplicaProgress = tpcw.ReplicaProgress
+
+// Simulate runs one N-tier TPC-W testbed experiment with cooperative
+// cancellation.
+func Simulate(ctx context.Context, cfg TPCWConfigN) (*TPCWResultN, error) {
+	return tpcw.RunNCtx(ctx, cfg)
+}
+
+// SimulateReplicas runs independently seeded replicas of an N-tier
+// simulation across goroutines (workers <= 0 uses GOMAXPROCS), with
+// cooperative cancellation and an optional progress callback.
+func SimulateReplicas(ctx context.Context, cfg TPCWConfigN, replicas, workers int, progress ReplicaProgress) (*TPCWReplicaResult, error) {
+	return tpcw.RunReplicasCtx(ctx, cfg, replicas, workers, progress)
+}
+
+// CrossValidate closes the measure → characterize → fit → solve loop
+// against the simulated N-tier testbed, with cooperative cancellation.
+func CrossValidate(ctx context.Context, cfg TPCWConfigN, opts ValidationOptions) (*ValidationReport, error) {
+	return validate.CrossValidateCtx(ctx, cfg, opts)
+}
