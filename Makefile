@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check race xvalidate scenario bench
+.PHONY: check build test vet fmt-check race xvalidate scenario suite bench
 
 check: vet fmt-check build test
 
@@ -43,13 +43,20 @@ xvalidate:
 scenario:
 	$(GO) run ./cmd/burstlab -scenario examples/scenariofile/scenario.json
 
+# suite is the batch-engine smoke check: the committed example suite
+# (database-tier I x population grid) expands, runs over the worker
+# pool with stage memoization, and streams its per-cell rows.
+suite:
+	$(GO) run ./cmd/burstlab -suite examples/suite/suite.json
+
 # bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3 solves,
-# the warm/cold population sweep, and the generator-assembly microbench —
-# and archives the numbers (ns/op, states, nnz, allocs, throughput) as
-# JSON. -benchtime=1x because each solve takes seconds and a single
-# iteration is already deterministic enough for a trajectory.
+# the warm/cold population sweep, the suite-engine batch run, and the
+# generator-assembly microbench — and archives the numbers (ns/op,
+# states, nnz, allocs, throughput) as JSON. -benchtime=1x because each
+# solve takes seconds and a single iteration is already deterministic
+# enough for a trajectory.
 bench:
-	$(GO) test -run=NONE -bench='SolveThreeTier|Solver' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite' -benchmem -benchtime=1x . > .bench_root.txt
 	$(GO) test -run=NONE -bench='GeneratorAssembly' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
 	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > BENCH_solver.json
 	rm -f .bench_root.txt .bench_mapqn.txt

@@ -14,6 +14,7 @@ package burst
 // records paper-vs-measured for each artifact.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -128,6 +129,32 @@ func BenchmarkSolverSweep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRunSuite tracks batch throughput of the suite engine on the
+// committed examples/suite grid: 16 content-addressed cells (database
+// I ∈ {1, 4, 40, 400} × four populations) executed over the worker
+// pool with stage memoization. The reported metrics expose the memo
+// economics (distinct fits vs total (cell, tier) pairs) alongside the
+// wall-clock ns/op that BENCH_solver.json archives.
+func BenchmarkRunSuite(b *testing.B) {
+	suite, err := LoadSuite("examples/suite/suite.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSuite(context.Background(), suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Cells), "cells")
+			b.ReportMetric(float64(rep.Memo.FitMisses), "fits")
+			b.ReportMetric(float64(rep.Memo.FitMisses+rep.Memo.FitHits), "fit-lookups")
+			last := rep.Rows[len(rep.Rows)-1].Report.Results[0]
+			b.ReportMetric(last.MAP.Throughput, "X(I=400,N=150)")
+		}
+	}
 }
 
 // benchScale is the measurement scale used by the benchmark harness:

@@ -1,0 +1,308 @@
+package burst
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// popSuite is the acceptance grid: one model, populations as the only
+// axis — the memo's best case (one characterize→fit per tier, ever).
+func popSuite() Suite {
+	base := modelScenario()
+	base.Populations = nil
+	base.Solvers = []SolverKind{SolverMAP, SolverMVA, SolverBounds}
+	return Suite{
+		Name: "pop-sweep",
+		Base: base,
+		Grid: Grid{Populations: [][]int{{5}, {10}, {15}, {20}}},
+	}
+}
+
+// TestRunSuiteMemoEquivalentToColdRun is the tentpole acceptance pin: a
+// grid varying only population produces per-cell reports bit-identical
+// to running each expanded Scenario through Run individually, while
+// performing exactly one characterize→fit per distinct tier spec.
+func TestRunSuiteMemoEquivalentToColdRun(t *testing.T) {
+	s := popSuite()
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSuite(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	for i, row := range rep.Rows {
+		cold, err := Run(context.Background(), cells[i].Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldJSON, err := cold.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		memoJSON, err := row.Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(coldJSON, memoJSON) {
+			t.Errorf("cell %d (%s): memoized report differs from cold Run:\n%s\nvs\n%s",
+				i, row.Name, memoJSON, coldJSON)
+		}
+	}
+	// Exactly one fit per distinct tier spec: 2 tiers shared by 4 cells.
+	m := rep.Memo
+	if m.FitMisses != 2 || m.FitHits != 6 {
+		t.Errorf("fit memo = %d misses / %d hits, want 2/6", m.FitMisses, m.FitHits)
+	}
+	// Each cell's population list is distinct, so every sweep solves.
+	if m.SolveMisses != 4 || m.SolveHits != 0 {
+		t.Errorf("solve memo = %d misses / %d hits, want 4/0", m.SolveMisses, m.SolveHits)
+	}
+	if m.CharMisses != 0 || m.CharHits != 0 {
+		t.Errorf("characterize memo touched for explicit tiers: %+v", m)
+	}
+}
+
+// TestRunSuiteSolveMemoSharesIdenticalModels pins the solve cache: two
+// cells with identical (model, populations, tolerance) solve once.
+func TestRunSuiteSolveMemoSharesIdenticalModels(t *testing.T) {
+	s := popSuite()
+	// The solvers axis splits map+mva from map+mva+bounds: same model,
+	// same populations — the sweep must be solved once and shared.
+	s.Grid = Grid{
+		Solvers:     [][]SolverKind{{SolverMAP, SolverMVA}, {SolverMAP, SolverMVA, SolverBounds}},
+		Populations: [][]int{{5, 10}},
+	}
+	rep, err := RunSuite(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Memo
+	if m.SolveMisses != 1 || m.SolveHits != 1 {
+		t.Fatalf("solve memo = %d misses / %d hits, want 1/1", m.SolveMisses, m.SolveHits)
+	}
+	// The shared sweep must still surface per-cell solver selections.
+	if rep.Rows[0].Report.Results[0].Bounds != nil {
+		t.Error("map+mva cell grew a bounds column")
+	}
+	if rep.Rows[1].Report.Results[0].Bounds == nil {
+		t.Error("bounds cell lost its bounds column")
+	}
+	if rep.Rows[0].Report.Results[0].MAP.Throughput != rep.Rows[1].Report.Results[0].MAP.Throughput {
+		t.Error("shared sweep diverged between cells")
+	}
+}
+
+// TestRunSuiteWorkerInvariance pins the satellite requirement: 1 worker
+// and GOMAXPROCS workers produce identical SuiteReports (rows in
+// expansion order, identical memo counters).
+func TestRunSuiteWorkerInvariance(t *testing.T) {
+	run := func(workers int) []byte {
+		s := popSuite()
+		s.Workers = workers
+		rep, err := RunSuite(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("suite report depends on worker count:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+// TestRunSuiteCancelMidSuite cancels from the first completed cell and
+// expects a prompt ctx error with every worker drained — the -race
+// leak check for the suite pool.
+func TestRunSuiteCancelMidSuite(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s := popSuite()
+	s.Workers = 2
+	canceled := make(chan struct{})
+	s.OnProgress = func(ev SuiteEvent) {
+		if ev.Stage == SuiteStageDone {
+			select {
+			case <-canceled:
+			default:
+				close(canceled)
+				cancel()
+			}
+		}
+	}
+	start := time.Now()
+	rep, err := RunSuite(ctx, s)
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSuite = (%v, %v), want context.Canceled", rep, err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v — not prompt", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestRunSuiteStreamsAndResumes runs the suite against a JSONL sink,
+// then resumes from the written file and expects every cell skipped.
+func TestRunSuiteStreamsAndResumes(t *testing.T) {
+	path := t.TempDir() + "/rows.jsonl"
+	s := popSuite()
+	sink, err := OpenJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSuite(context.Background(), s, sink); err != nil {
+		t.Fatal(err)
+	}
+	done, err := ReadJSONLHashes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 4 {
+		t.Fatalf("completed hashes = %d, want 4", len(done))
+	}
+	resumed := popSuite()
+	resumed.Skip = done
+	rep, err := RunSuite(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 4 {
+		t.Fatalf("resume skipped %d cells, want 4", rep.Skipped)
+	}
+	if m := rep.Memo; m.FitMisses != 0 || m.SolveMisses != 0 {
+		t.Fatalf("resumed suite recomputed stages: %+v", m)
+	}
+}
+
+// TestExampleSuitePinned pins the committed examples/suite grid: the
+// paper's burstiness-sensitivity shape (MAP throughput degrades with
+// the database tier's I while MVA is blind to it) and the memo
+// economics (exactly one fit per distinct tier spec).
+func TestExampleSuitePinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-cell CTMC grid is 10-20x slower under -race instrumentation; `make suite` smokes it in CI")
+	}
+	s, err := LoadSuite("examples/suite/suite.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSuite(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 16 {
+		t.Fatalf("cells = %d, want 16 (I × N grid)", rep.Cells)
+	}
+	// Rows are I-major, N-minor: 4 blocks of 4 populations.
+	mapX := func(i, n int) float64 { return rep.Rows[4*i+n].Report.Results[0].MAP.Throughput }
+	mvaX := func(i, n int) float64 { return rep.Rows[4*i+n].Report.Results[0].MVA.Throughput }
+	for n := 0; n < 4; n++ {
+		for i := 1; i < 4; i++ {
+			if mapX(i, n) >= mapX(i-1, n) {
+				t.Errorf("N index %d: MAP X did not degrade from I index %d to %d (%.2f -> %.2f)",
+					n, i-1, i, mapX(i-1, n), mapX(i, n))
+			}
+			if mvaX(i, n) != mvaX(0, n) {
+				t.Errorf("N index %d: MVA X varies with I (%.4f vs %.4f) — it must be burstiness-blind",
+					n, mvaX(i, n), mvaX(0, n))
+			}
+		}
+	}
+	// At saturation the highest burstiness must cost double-digit
+	// percent throughput — the paper's headline effect.
+	if loss := 1 - mapX(3, 3)/mapX(0, 3); loss < 0.10 {
+		t.Errorf("I=400 throughput loss at N=150 = %.1f%%, want > 10%%", 100*loss)
+	}
+	// Memo economics: 5 distinct (tier, fit) specs across 32 pairs —
+	// front shared by all 16 cells, one db fit per I value.
+	m := rep.Memo
+	if m.FitMisses != 5 || m.FitHits != 27 {
+		t.Errorf("fit memo = %d misses / %d hits, want 5/27", m.FitMisses, m.FitHits)
+	}
+	if m.SolveMisses != 16 {
+		t.Errorf("solve misses = %d, want 16 (all cells distinct)", m.SolveMisses)
+	}
+	// The committed file's cell hashes are stable content addresses:
+	// expansion is deterministic, so re-expansion agrees with the run.
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		if rep.Rows[i].Hash != cell.Hash {
+			t.Errorf("cell %d hash drifted between expansion and run", i)
+		}
+	}
+}
+
+// TestRunSuiteWithSampledTiers covers the characterize memo: sampled
+// tiers shared across cells are characterized once.
+func TestRunSuiteWithSampledTiers(t *testing.T) {
+	u := sampleStreamBurst()
+	s := Suite{
+		Name: "sampled",
+		Base: Scenario{
+			ThinkTime: 0.5,
+			Tiers: []TierSpec{
+				{Name: "front", Mean: 0.006, IndexOfDispersion: 3, P95: 0.015},
+				{Name: "db", Samples: &u},
+			},
+			Solvers: []SolverKind{SolverMAP, SolverMVA},
+		},
+		Grid: Grid{Populations: [][]int{{5}, {10}, {15}}},
+	}
+	rep, err := RunSuite(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Memo
+	if m.CharMisses != 1 || m.CharHits != 2 {
+		t.Fatalf("characterize memo = %d misses / %d hits, want 1/2", m.CharMisses, m.CharHits)
+	}
+	if m.FitMisses != 2 {
+		t.Fatalf("fit misses = %d, want 2 (front + sampled db)", m.FitMisses)
+	}
+	// And the memoized cells still match cold runs bit for bit.
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(context.Background(), cells[2].Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, _ := cold.JSON()
+	memoJSON, _ := rep.Rows[2].Report.JSON()
+	if !bytes.Equal(coldJSON, memoJSON) {
+		t.Fatal("sampled-tier memoized report differs from cold Run")
+	}
+}
+
+// sampleStreamBurst builds a deterministic synthetic monitoring stream
+// (mirrors the core package's test helper).
+func sampleStreamBurst() trace.UtilizationSamples {
+	u := trace.UtilizationSamples{PeriodSeconds: 5}
+	for k := 0; k < 200; k++ {
+		u.Utilization = append(u.Utilization, 0.3+0.001*float64(k%30))
+		u.Completions = append(u.Completions, 50)
+	}
+	return u
+}

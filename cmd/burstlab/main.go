@@ -1,15 +1,25 @@
-// Command burstlab executes a declarative scenario file end to end: it
-// loads a Scenario (JSON), runs it through the library's single Run
-// entry point — characterize, fit, solve, simulate, cross-validate as
-// the scenario's solver selection demands — and prints the unified
-// Report. It is the one CLI surface over the whole pipeline; capplan and
-// tpcwsim are thin scenario builders over the same machinery.
+// Command burstlab executes declarative experiment files end to end.
+// With -scenario it loads one Scenario (JSON), runs it through the
+// library's single Run entry point — characterize, fit, solve,
+// simulate, cross-validate as the scenario's solver selection demands —
+// and prints the unified Report. With -suite it loads a Suite (a base
+// scenario crossed with a parameter grid), expands it into
+// content-addressed cells and runs them over a worker pool with stage
+// memoization, streaming each finished cell to a JSONL report file. It
+// is the one CLI surface over the whole pipeline; capplan and tpcwsim
+// are thin scenario builders over the same machinery.
 //
 // Usage:
 //
 //	burstlab -scenario scenario.json
 //	burstlab -scenario scenario.json -out report.json -quiet
 //	burstlab -scenario scenario.json -timeout 2m
+//	burstlab -suite suite.json -out report.jsonl
+//	burstlab -suite suite.json -out report.jsonl -resume -workers 4
+//
+// Suite runs are resumable: with -resume, cells whose content hash
+// already has a completed row in the -out JSONL file are skipped, so an
+// interrupted sweep picks up where it stopped.
 //
 // Interrupting the run (Ctrl-C / SIGTERM) cancels it cooperatively: the
 // CTMC sweep or simulation in flight stops within one step and the
@@ -37,18 +47,17 @@ func main() {
 }
 
 func run() error {
-	scenarioPath := flag.String("scenario", "", "scenario JSON file to run (required)")
-	outPath := flag.String("out", "", "write the full JSON report to this file ('-' for stdout)")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file to run")
+	suitePath := flag.String("suite", "", "suite JSON file to run (base scenario + parameter grid)")
+	outPath := flag.String("out", "", "write the report here: full JSON for -scenario ('-' for stdout), streamed JSONL rows for -suite")
+	resume := flag.Bool("resume", false, "with -suite: skip cells whose hash already has a completed row in -out")
+	workers := flag.Int("workers", 0, "with -suite: cap concurrently running cells (0 = GOMAXPROCS)")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary and progress")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	flag.Parse()
 
-	if *scenarioPath == "" {
-		return fmt.Errorf("-scenario is required (see examples/scenariofile/scenario.json)")
-	}
-	sc, err := burst.LoadScenario(*scenarioPath)
-	if err != nil {
-		return err
+	if (*scenarioPath == "") == (*suitePath == "") {
+		return fmt.Errorf("exactly one of -scenario or -suite is required (see examples/scenariofile, examples/suite)")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -57,6 +66,15 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *suitePath != "" {
+		return runSuite(ctx, *suitePath, *outPath, *resume, *workers, *quiet)
+	}
+
+	sc, err := burst.LoadScenario(*scenarioPath)
+	if err != nil {
+		return err
 	}
 
 	if !*quiet {
@@ -92,6 +110,133 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "burstlab: report written to %s\n", *outPath)
 	}
 	return nil
+}
+
+// runSuite executes a suite file: expand the grid, skip cells already
+// completed in a resumed output, stream finished cells to the JSONL
+// sink, and print an aggregated per-cell table.
+func runSuite(ctx context.Context, path, outPath string, resume bool, workers int, quiet bool) error {
+	suite, err := burst.LoadSuite(path)
+	if err != nil {
+		return err
+	}
+	if workers != 0 {
+		suite.Workers = workers
+	}
+	if resume {
+		if outPath == "" {
+			return fmt.Errorf("-resume needs -out (the JSONL file holding completed rows)")
+		}
+		skip, err := burst.ReadJSONLHashes(outPath)
+		if err != nil {
+			return err
+		}
+		suite.Skip = skip
+	}
+	if !quiet {
+		suite.OnProgress = func(ev burst.SuiteEvent) {
+			fmt.Fprintf(os.Stderr, "burstlab: %-5s [%d/%d] %s\n", ev.Stage, ev.Done, ev.Total, ev.Cell.Name)
+		}
+	}
+	var sinks []burst.ReportSink
+	switch {
+	case outPath == "-":
+		if resume {
+			return fmt.Errorf("-resume needs a file -out, not stdout")
+		}
+		sinks = append(sinks, burst.NewJSONLSink(os.Stdout))
+	case outPath != "":
+		// A fresh run truncates; -resume appends after the surviving rows.
+		open := burst.OpenJSONLSink
+		if resume {
+			open = burst.AppendJSONLSink
+		}
+		sink, err := open(outPath)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, sink)
+	}
+
+	start := time.Now()
+	rep, err := burst.RunSuite(ctx, suite, sinks...)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		printSuiteSummary(rep, time.Since(start))
+	}
+	if outPath != "" {
+		fmt.Fprintf(os.Stderr, "burstlab: %d rows streamed to %s (%d skipped)\n",
+			rep.Cells-rep.Skipped, outPath, rep.Skipped)
+	}
+	return nil
+}
+
+// printSuiteSummary renders one line per (cell, population) with the
+// headline columns each cell's solvers produced, then the memo-cache
+// counters — the visible effect of cross-cell stage reuse.
+func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
+	name := rep.Name
+	if name == "" {
+		name = "suite"
+	}
+	fmt.Printf("%s: %d cells (%d skipped) in %.1fs\n", name, rep.Cells, rep.Skipped, elapsed.Seconds())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "cell\tN\tMAP X\tMVA X\tbounds\tsim X\tMAP err")
+	for _, row := range rep.Rows {
+		if row.Skipped {
+			fmt.Fprintf(w, "%s\t(skipped)\t\t\t\t\t\n", cellLabel(row))
+			continue
+		}
+		for _, r := range row.Report.Results {
+			cols := fmt.Sprintf("%s\t%d", cellLabel(row), r.Population)
+			cols += colF(r.MAP != nil, func() float64 { return r.MAP.Throughput })
+			cols += colF(r.MVA != nil, func() float64 { return r.MVA.Throughput })
+			if r.Bounds != nil {
+				cols += fmt.Sprintf("\t%.2f-%.2f", r.Bounds.LowerX, r.Bounds.UpperX)
+			} else {
+				cols += "\t"
+			}
+			cols += colF(r.Sim != nil, func() float64 { return r.Sim.Throughput.Mean })
+			if r.Validation != nil {
+				cols += fmt.Sprintf("\t%+.1f%%", 100*r.Validation.MAPError)
+			} else {
+				cols += "\t"
+			}
+			fmt.Fprintln(w, cols)
+		}
+	}
+	w.Flush()
+	m := rep.Memo
+	fmt.Printf("memo: characterize %d/%d hits, fit %d/%d hits, solve %d/%d hits\n",
+		m.CharHits, m.CharHits+m.CharMisses,
+		m.FitHits, m.FitHits+m.FitMisses,
+		m.SolveHits, m.SolveHits+m.SolveMisses)
+}
+
+// cellLabel compacts a cell's axis coordinates for the table ("I=40
+// N=100"), falling back to its name for gridless suites.
+func cellLabel(row burst.SuiteRow) string {
+	if len(row.Axes) == 0 {
+		return row.Name
+	}
+	label := ""
+	for i, av := range row.Axes {
+		if i > 0 {
+			label += " "
+		}
+		label += av.Name + "=" + av.Value
+	}
+	return label
+}
+
+// colF renders one optional float column.
+func colF(ok bool, v func() float64) string {
+	if !ok {
+		return "\t"
+	}
+	return fmt.Sprintf("\t%.2f", v())
 }
 
 // printSummary renders the report as one table per concern: tier model

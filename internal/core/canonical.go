@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CanonicalJSON marshals v into canonical bytes: object keys sorted,
+// no insignificant whitespace, and every number rendered by Go's
+// shortest-round-trip formatter regardless of how it was spelled in an
+// input file. Two semantically equal values always canonicalize to the
+// same bytes, so the output is fit for content addressing (see HashJSON
+// and Scenario.Hash).
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("core: canonical json: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber() // preserve full int64 precision through the round trip
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("core: canonical json: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, tree); err != nil {
+		return nil, fmt.Errorf("core: canonical json: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeCanonical renders a decoded JSON tree with sorted object keys and
+// compact separators. Numbers arrive as json.Number literals produced by
+// Go's encoder, which formats any given float64 deterministically.
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, t[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+		return nil
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+		return nil
+	case json.Number:
+		buf.WriteString(t.String())
+		return nil
+	default:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+		return nil
+	}
+}
+
+// HashJSON returns the SHA-256 of v's canonical JSON, hex-encoded — the
+// content address the suite engine keys cells and memo entries by.
+func HashJSON(v any) (string, error) {
+	data, err := CanonicalJSON(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Hash returns the scenario's content address: the SHA-256 of its
+// canonical JSON after defaults are materialized. Two scenarios that run
+// identically hash identically, independent of field spelling, file
+// formatting, or the presence of unset-but-defaulted fields; the
+// OnProgress callback is excluded (it is never serialized).
+func (s Scenario) Hash() (string, error) {
+	return HashJSON(s.WithDefaults())
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/inference"
+	"repro/internal/markov"
+)
+
+// Memo is the suite engine's stage cache. Scenario cells of one suite
+// frequently share work: a grid that varies only population re-uses
+// every tier's characterize→fit result, and cells with identical models
+// re-use whole warm-started solver sweeps. Memo deduplicates those
+// stages across concurrently running cells with single-flight semantics:
+// for each distinct key the compute function runs exactly once, later
+// callers (including concurrent ones) block until the first completes
+// and then share its result. All stage computations are deterministic
+// pure functions of their key, so a memo hit is bit-identical to a cold
+// recomputation — the engine's correctness invariant, pinned by tests.
+//
+// Cached values are shared across reports and must be treated as
+// immutable by callers.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+	stats   MemoStats
+}
+
+// Memo stage families, used as key prefixes and stat buckets.
+const (
+	memoChar  = "char"  // inference.Characterize per sampled tier spec
+	memoFit   = "fit"   // markov.FitThreePoint per characterization
+	memoSolve = "solve" // MAP-network sweep per (model, populations, tolerance)
+)
+
+type memoEntry struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+}
+
+// MemoStats counts cache traffic per stage family. Misses are distinct
+// computations actually performed; hits are lookups served from a
+// completed or in-flight computation. Counts depend only on the suite's
+// cell set, not on worker scheduling.
+type MemoStats struct {
+	CharHits    int64 `json:"char_hits"`
+	CharMisses  int64 `json:"char_misses"`
+	FitHits     int64 `json:"fit_hits"`
+	FitMisses   int64 `json:"fit_misses"`
+	SolveHits   int64 `json:"solve_hits"`
+	SolveMisses int64 `json:"solve_misses"`
+}
+
+// NewMemo returns an empty stage cache.
+func NewMemo() *Memo {
+	return &Memo{entries: make(map[string]*memoEntry)}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// do returns the cached value for (family, key), computing it via
+// compute on first use. Concurrent callers of the same key block until
+// the single in-flight computation finishes. Errors are cached like
+// values: the computations are deterministic, so retrying cannot help.
+func (m *Memo) do(family, key string, compute func() (any, error)) (any, error) {
+	full := family + "\x00" + key
+	m.mu.Lock()
+	if e, ok := m.entries[full]; ok {
+		m.count(family, true)
+		m.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[full] = e
+	m.count(family, false)
+	m.mu.Unlock()
+
+	e.val, e.err = compute()
+	close(e.done)
+	return e.val, e.err
+}
+
+func (m *Memo) count(family string, hit bool) {
+	switch {
+	case family == memoChar && hit:
+		m.stats.CharHits++
+	case family == memoChar:
+		m.stats.CharMisses++
+	case family == memoFit && hit:
+		m.stats.FitHits++
+	case family == memoFit:
+		m.stats.FitMisses++
+	case family == memoSolve && hit:
+		m.stats.SolveHits++
+	case family == memoSolve:
+		m.stats.SolveMisses++
+	}
+}
+
+// Characterize memoizes the Section 4.1 estimation pipeline for one
+// sampled tier spec. A nil memo computes directly.
+func (m *Memo) Characterize(key string, compute func() (inference.Characterization, error)) (inference.Characterization, error) {
+	if m == nil {
+		return compute()
+	}
+	v, err := m.do(memoChar, key, func() (any, error) { return compute() })
+	if err != nil {
+		return inference.Characterization{}, err
+	}
+	return v.(inference.Characterization), nil
+}
+
+// Fit memoizes one tier's MAP(2) fit. A nil memo computes directly.
+func (m *Memo) Fit(key string, compute func() (markov.FitResult, error)) (markov.FitResult, error) {
+	if m == nil {
+		return compute()
+	}
+	v, err := m.do(memoFit, key, func() (any, error) { return compute() })
+	if err != nil {
+		return markov.FitResult{}, err
+	}
+	return v.(markov.FitResult), nil
+}
+
+// Solve memoizes one model's full warm-started population sweep (MAP
+// and MVA columns together, as PlanN.PredictCtx produces them). A nil
+// memo computes directly.
+func (m *Memo) Solve(key string, compute func() ([]PredictionN, error)) ([]PredictionN, error) {
+	if m == nil {
+		return compute()
+	}
+	v, err := m.do(memoSolve, key, func() (any, error) { return compute() })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]PredictionN), nil
+}

@@ -124,6 +124,25 @@ func BuildPlanNFromCharacterizations(chars []inference.Characterization, thinkTi
 	return plan, nil
 }
 
+// NewPlanN assembles a plan from already characterized and fitted
+// tiers — the constructor the suite engine's memoized pipeline uses,
+// where characterize→fit results are cached per tier spec and must not
+// be recomputed per cell. Callers own the tiers' correctness; use
+// BuildPlanN / BuildPlanNFromCharacterizations to run the pipeline.
+func NewPlanN(tiers []Tier, thinkTime float64, opts PlannerOptions) (*PlanN, error) {
+	if thinkTime <= 0 {
+		return nil, fmt.Errorf("core: think time %v must be > 0", thinkTime)
+	}
+	if len(tiers) == 0 {
+		return nil, errors.New("core: no tiers to plan for")
+	}
+	return &PlanN{
+		Tiers:     append([]Tier(nil), tiers...),
+		ThinkTime: thinkTime,
+		opts:      opts,
+	}, nil
+}
+
 // Stations assembles the MAP network stations of the plan.
 func (p *PlanN) Stations() []mapqn.Station {
 	out := make([]mapqn.Station, len(p.Tiers))

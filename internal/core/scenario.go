@@ -306,14 +306,20 @@ func (s Scenario) Validate() error {
 }
 
 // JSON serializes the scenario as indented, human-editable JSON —
-// the format ParseScenario and the burstlab CLI read.
+// the format ParseScenario and the burstlab CLI read. The output is
+// canonical (object keys sorted, numbers in Go's shortest round-trip
+// form), so serializing the same scenario always yields the same bytes
+// and the content hash (Scenario.Hash) is stable across runs.
 func (s Scenario) JSON() ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(s); err != nil {
+	canon, err := CanonicalJSON(s)
+	if err != nil {
 		return nil, fmt.Errorf("core: encode scenario: %w", err)
 	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, canon, "", "  "); err != nil {
+		return nil, fmt.Errorf("core: encode scenario: %w", err)
+	}
+	buf.WriteByte('\n')
 	return buf.Bytes(), nil
 }
 

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SuiteRow is one finished cell as streamed to sinks and collected into
+// the SuiteReport: the cell's identity (grid coordinates, content hash)
+// plus its full per-scenario report. Skipped cells (resume) carry no
+// report.
+type SuiteRow struct {
+	// Index is the cell's position in deterministic expansion order.
+	Index int `json:"index"`
+	// Name labels the cell ("base I=40 N=100").
+	Name string `json:"name"`
+	// Hash is the expanded scenario's content address (Scenario.Hash).
+	Hash string `json:"hash"`
+	// Axes are the cell's grid coordinates, in axis order.
+	Axes []AxisValue `json:"axes,omitempty"`
+	// Skipped marks a cell not executed because its hash was already
+	// present in a resumed output.
+	Skipped bool `json:"skipped,omitempty"`
+	// Report is the cell's full scenario report (nil when skipped).
+	Report *Report `json:"report,omitempty"`
+}
+
+// ReportSink consumes suite rows as cells finish. The engine serializes
+// Write calls, but they arrive in completion order, not cell order — a
+// sink that needs cell order should sort by Index (the JSONL format
+// records it per row). Close is called once after the last write.
+type ReportSink interface {
+	Write(row SuiteRow) error
+	Close() error
+}
+
+// MemorySink collects rows in memory, for tests and programmatic use.
+type MemorySink struct {
+	mu   sync.Mutex
+	rows []SuiteRow
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Write appends the row.
+func (s *MemorySink) Write(row SuiteRow) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, row)
+	return nil
+}
+
+// Close implements ReportSink; it never fails.
+func (s *MemorySink) Close() error { return nil }
+
+// Rows returns the collected rows in arrival order.
+func (s *MemorySink) Rows() []SuiteRow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SuiteRow(nil), s.rows...)
+}
+
+// JSONLSink streams rows as JSON Lines: one compact JSON object per
+// row, flushed after every write so a partial file survives an
+// interrupted suite — the basis of burstlab's resume-by-hash.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // nil when the sink does not own the writer
+	err error
+}
+
+// NewJSONLSink wraps an io.Writer. The caller retains ownership; Close
+// flushes but does not close w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// OpenJSONLSink creates (or truncates) a JSONL file sink: a fresh run
+// starts from a fresh report. Use AppendJSONLSink when resuming, so
+// rows already present survive.
+func OpenJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open report sink: %w", err)
+	}
+	return &JSONLSink{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// AppendJSONLSink opens a JSONL file sink for resuming: existing rows
+// stay, new cells are appended after them. A torn trailing line (a
+// previous run killed mid-write) is terminated with a newline first, so
+// the next appended row starts clean instead of corrupting it further.
+func AppendJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open report sink: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: open report sink: %w", err)
+	}
+	if st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: open report sink: %w", err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("core: open report sink: %w", err)
+			}
+		}
+	}
+	return &JSONLSink{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// Write appends one row as a single JSON line and flushes it.
+func (s *JSONLSink) Write(row SuiteRow) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	data, err := json.Marshal(row)
+	if err != nil {
+		s.err = fmt.Errorf("core: encode suite row: %w", err)
+		return s.err
+	}
+	data = append(data, '\n')
+	if _, err := s.w.Write(data); err != nil {
+		s.err = fmt.Errorf("core: write suite row: %w", err)
+		return s.err
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("core: flush suite row: %w", err)
+		return s.err
+	}
+	return nil
+}
+
+// Close flushes and, when the sink owns its file, closes it.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONLRows parses a JSONL report file back into rows, in file
+// order. Unparseable trailing garbage (e.g. a line cut short by a kill)
+// is ignored rather than failing the resume.
+func ReadJSONLRows(path string) ([]SuiteRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SuiteRow
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var row SuiteRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReadJSONLHashes returns the content hashes of completed (non-skipped)
+// rows in a JSONL report file — the skip set for resuming a suite. A
+// missing file yields an empty set.
+func ReadJSONLHashes(path string) (map[string]bool, error) {
+	rows, err := ReadJSONLRows(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	done := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		if !row.Skipped && row.Report != nil {
+			done[row.Hash] = true
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Suite is a declarative batch of scenarios: a base Scenario plus a Grid
+// of parameter axes. Expansion crosses the axes deterministically into
+// named, content-addressed cells; RunSuite executes them over a worker
+// pool with stage memoization and streaming report sinks. A suite with
+// an empty grid is exactly one Run of the base scenario.
+type Suite struct {
+	// Name labels the suite; cell names are derived from it.
+	Name string `json:"name,omitempty"`
+	// Base is the scenario every cell starts from.
+	Base Scenario `json:"base"`
+	// Grid declares the parameter axes (empty = the base cell only).
+	Grid Grid `json:"grid,omitempty"`
+	// Workers caps concurrently executing cells (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+
+	// Skip lists content hashes of cells not to execute — typically the
+	// completed rows of a resumed output file (ReadJSONLHashes). Never
+	// serialized.
+	Skip map[string]bool `json:"-"`
+	// OnProgress, when non-nil, observes suite execution. Calls are
+	// serialized. Never serialized to JSON.
+	OnProgress SuiteProgressFunc `json:"-"`
+}
+
+// SuiteEvent is one progress notification from a running suite.
+type SuiteEvent struct {
+	// Stage is "start", "done" or "skip".
+	Stage string `json:"stage"`
+	// Cell identifies the cell the event belongs to.
+	Cell SuiteCell `json:"-"`
+	// Done and Total count finished (or skipped) cells.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Suite progress stages.
+const (
+	SuiteStageStart = "start"
+	SuiteStageDone  = "done"
+	SuiteStageSkip  = "skip"
+)
+
+// SuiteProgressFunc observes suite execution.
+type SuiteProgressFunc func(SuiteEvent)
+
+// SuiteCell is one expanded scenario of a suite.
+type SuiteCell struct {
+	// Index is the cell's position in deterministic expansion order.
+	Index int `json:"index"`
+	// Name labels the cell: the suite name plus its axis coordinates.
+	Name string `json:"name"`
+	// Hash is the scenario's content address.
+	Hash string `json:"hash"`
+	// Axes are the cell's grid coordinates, in axis order.
+	Axes []AxisValue `json:"axes,omitempty"`
+	// Scenario is the fully patched, defaulted scenario.
+	Scenario Scenario `json:"scenario"`
+}
+
+// CellRunner executes one expanded cell. The engine guarantees at most
+// Workers concurrent invocations; the runner must be safe for that
+// concurrency. RunSuite's default runner is the facade's memoized
+// scenario pipeline; custom runners let callers route other per-cell
+// computations (e.g. the paper-reproduction measurement sweeps) through
+// the same expansion, pooling and streaming machinery.
+type CellRunner func(ctx context.Context, cell SuiteCell) (*Report, error)
+
+// SuiteReport aggregates a suite run: one row per cell in expansion
+// order (independent of worker count and completion order), plus the
+// memo cache counters when the runner used a Memo.
+type SuiteReport struct {
+	// Name is the suite label.
+	Name string `json:"name,omitempty"`
+	// Cells is the expanded cell count.
+	Cells int `json:"cells"`
+	// Skipped counts cells not executed (resume).
+	Skipped int `json:"skipped,omitempty"`
+	// Rows holds every cell's outcome, in expansion order.
+	Rows []SuiteRow `json:"rows"`
+	// Memo reports stage-cache traffic (zero when no memo was used).
+	Memo MemoStats `json:"memo"`
+}
+
+// JSON serializes the suite report as indented JSON.
+func (r *SuiteReport) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("core: encode suite report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// clone deep-copies the scenario's mutable parts so axis patches on one
+// cell cannot leak into the base or sibling cells.
+func (s Scenario) clone() Scenario {
+	cp := s
+	cp.Populations = append([]int(nil), s.Populations...)
+	cp.Solvers = append([]SolverKind(nil), s.Solvers...)
+	if s.Tiers != nil {
+		cp.Tiers = make([]TierSpec, len(s.Tiers))
+		copy(cp.Tiers, s.Tiers)
+	}
+	if s.Workload != nil {
+		wl := *s.Workload
+		cp.Workload = &wl
+	}
+	if s.Planner != nil {
+		p := *s.Planner
+		p.TierNames = append([]string(nil), s.Planner.TierNames...)
+		cp.Planner = &p
+	}
+	return cp
+}
+
+// Expand crosses the grid's axes over the base scenario, producing the
+// suite's cells in deterministic row-major order (later axes fastest).
+// Every cell is patched, defaulted, validated and content-hashed.
+func (s Suite) Expand() ([]SuiteCell, error) {
+	if err := s.Grid.validate(s.Base); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(s.Base.Tiers))
+	for i, t := range s.Base.Tiers {
+		names[i] = t.Name
+	}
+	defaults := DefaultTierNames(len(s.Base.Tiers))
+	for i := range names {
+		if names[i] == "" && i < len(defaults) {
+			names[i] = defaults[i]
+		}
+	}
+	axes := s.Grid.axes(names)
+	total := 1
+	for _, ax := range axes {
+		total *= ax.size
+	}
+	baseName := s.Name
+	if baseName == "" {
+		baseName = s.Base.Name
+	}
+	if baseName == "" {
+		baseName = "suite"
+	}
+
+	cells := make([]SuiteCell, 0, total)
+	idx := make([]int, len(axes))
+	for n := 0; n < total; n++ {
+		sc := s.Base.clone()
+		parts := make([]string, 0, len(axes)+1)
+		parts = append(parts, baseName)
+		coords := make([]AxisValue, len(axes))
+		for a, ax := range axes {
+			ax.apply(&sc, idx[a])
+			coords[a] = AxisValue{Name: ax.name, Value: ax.label(idx[a])}
+			parts = append(parts, ax.name+"="+coords[a].Value)
+		}
+		name := strings.Join(parts, " ")
+		sc.Name = name
+		sc = sc.WithDefaults()
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("core: suite cell %d (%s): %w", n, name, err)
+		}
+		hash, err := sc.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("core: suite cell %d (%s): %w", n, name, err)
+		}
+		cells = append(cells, SuiteCell{
+			Index: n, Name: name, Hash: hash, Axes: coords, Scenario: sc,
+		})
+		// Odometer step: last axis varies fastest.
+		for a := len(axes) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < axes[a].size {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return cells, nil
+}
+
+// RunSuite expands the suite and executes every non-skipped cell with
+// runner over a pool of suite.Workers goroutines. Finished rows stream
+// to the sinks in completion order (Write calls serialized); the
+// returned SuiteReport collects the same rows in expansion order, so it
+// is invariant to worker count. The first cell error cancels the
+// remaining cells and is returned after all in-flight cells drain;
+// sinks are always closed.
+//
+// The facade's RunSuite wraps this with the memoized scenario runner —
+// call this directly only to route custom per-cell computations through
+// the engine.
+func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...ReportSink) (*SuiteReport, error) {
+	if runner == nil {
+		return nil, errors.New("core: suite runner must not be nil")
+	}
+	cells, err := suite.Expand()
+	if err != nil {
+		closeSinks(sinks)
+		return nil, err
+	}
+	workers := suite.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	rep := &SuiteReport{Name: suite.Name, Cells: len(cells), Rows: make([]SuiteRow, len(cells))}
+	var (
+		emitMu   sync.Mutex // serializes sink writes and progress calls
+		done     int
+		firstErr error
+		errOnce  sync.Once
+	)
+	emit := func(row SuiteRow, stage string, cell SuiteCell) error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		done++
+		var sinkErr error
+		if !row.Skipped {
+			for _, s := range sinks {
+				if err := s.Write(row); err != nil && sinkErr == nil {
+					sinkErr = err
+				}
+			}
+		}
+		if suite.OnProgress != nil {
+			suite.OnProgress(SuiteEvent{Stage: stage, Cell: cell, Done: done, Total: len(cells)})
+		}
+		return sinkErr
+	}
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Pre-mark skipped cells so workers only see live ones.
+	var live []int
+	for i, cell := range cells {
+		if suite.Skip[cell.Hash] {
+			rep.Rows[i] = SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Skipped: true}
+			rep.Skipped++
+			if err := emit(rep.Rows[i], SuiteStageSkip, cell); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		live = append(live, i)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cell := cells[i]
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					continue
+				}
+				if suite.OnProgress != nil {
+					emitMu.Lock()
+					suite.OnProgress(SuiteEvent{Stage: SuiteStageStart, Cell: cell, Done: done, Total: len(cells)})
+					emitMu.Unlock()
+				}
+				cellRep, err := runner(ctx, cell)
+				if err != nil {
+					fail(fmt.Errorf("core: suite cell %d (%s): %w", cell.Index, cell.Name, err))
+					continue
+				}
+				row := SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Report: cellRep}
+				rep.Rows[i] = row
+				if err := emit(row, SuiteStageDone, cell); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, i := range live {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if cerr := closeSinks(sinks); cerr != nil && firstErr == nil {
+		firstErr = cerr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rep, nil
+}
+
+func closeSinks(sinks []ReportSink) error {
+	var first error
+	for _, s := range sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SuiteJSON serializes the suite (base + grid) as indented, canonical
+// JSON — the format ParseSuite and the burstlab -suite flag read.
+func (s Suite) JSON() ([]byte, error) {
+	canon, err := CanonicalJSON(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode suite: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, canon, "", "  "); err != nil {
+		return nil, fmt.Errorf("core: encode suite: %w", err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// ParseSuite decodes a suite from JSON, rejecting unknown fields so
+// typos in a suite file fail loudly.
+func ParseSuite(data []byte) (Suite, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		return Suite{}, fmt.Errorf("core: parse suite: %w", err)
+	}
+	if dec.More() {
+		return Suite{}, errors.New("core: parse suite: trailing data after the suite object")
+	}
+	return s, nil
+}
+
+// LoadSuite reads and parses a suite file.
+func LoadSuite(path string) (Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Suite{}, fmt.Errorf("core: %w", err)
+	}
+	s, err := ParseSuite(data)
+	if err != nil {
+		return Suite{}, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return s, nil
+}

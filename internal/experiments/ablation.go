@@ -208,10 +208,9 @@ func AblationBurstinessSweep(seed int64, scale Scale) ([]BurstinessSweepRow, err
 			mix.FrontContention = tpcw.ContentionParams{}
 		}
 		// Demands measured at moderate load...
-		fitRun, err := tpcw.Run(tpcw.Config{
-			Mix: mix, EBs: 50, ThinkTime: 0.5, Seed: seed,
-			Duration: scale.SimDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-		})
+		fitCfg := scale.config(mix, 50, seed)
+		fitCfg.ThinkTime = 0.5
+		fitRun, err := tpcw.Run(fitCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -224,10 +223,9 @@ func AblationBurstinessSweep(seed int64, scale Scale) ([]BurstinessSweepRow, err
 			return nil, err
 		}
 		// ...validated at saturation.
-		valRun, err := tpcw.Run(tpcw.Config{
-			Mix: mix, EBs: 120, ThinkTime: 0.5, Seed: seed + 7,
-			Duration: scale.SimDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-		})
+		valCfg := scale.config(mix, 120, seed+7)
+		valCfg.ThinkTime = 0.5
+		valRun, err := tpcw.Run(valCfg)
 		if err != nil {
 			return nil, err
 		}

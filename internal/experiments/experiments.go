@@ -170,28 +170,26 @@ type Figure4Row struct {
 }
 
 // Figure4 sweeps the three mixes over the EB range of Fig. 4 and reports
-// throughput and mean utilizations (Z = 0.5 s).
+// throughput and mean utilizations (Z = 0.5 s). The mixes × populations
+// cross runs as one suite-engine grid.
 func Figure4(seed int64, scale Scale, populations []int) ([]Figure4Row, error) {
 	if len(populations) == 0 {
 		populations = []int{25, 50, 75, 100, 125, 150}
 	}
-	var rows []Figure4Row
-	for _, mix := range tpcw.StandardMixes() {
-		for _, ebs := range populations {
-			res, err := tpcw.Run(tpcw.Config{
-				Mix: mix, EBs: ebs, Seed: seed + int64(ebs),
-				Duration: scale.SimDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 4 %s/%d: %w", mix.Name, ebs, err)
-			}
-			rows = append(rows, Figure4Row{
-				Mix: mix.Name, EBs: ebs,
-				TPUT:      res.Throughput,
-				UtilFront: res.AvgUtilFront,
-				UtilDB:    res.AvgUtilDB,
-			})
-		}
+	suite := measurementSuite("figure4", scale, standardMixNames(), 0.5, populations, seed)
+	srep, err := runMeasurement(suite, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 4: %w", err)
+	}
+	rows := make([]Figure4Row, 0, len(srep.Rows))
+	for _, row := range srep.Rows {
+		r := row.Report.Results[0]
+		rows = append(rows, Figure4Row{
+			Mix: row.Report.Scenario.Workload.Mix, EBs: r.Population,
+			TPUT:      r.Sim.Throughput.Mean,
+			UtilFront: r.Sim.TierUtil[0].Mean,
+			UtilDB:    r.Sim.TierUtil[1].Mean,
+		})
 	}
 	return rows, nil
 }
@@ -216,11 +214,9 @@ func Figure5And6(seed int64, scale Scale) ([]TimelineStats, map[string]*tpcw.Res
 	out := make([]TimelineStats, 0, 3)
 	raw := make(map[string]*tpcw.Result, 3)
 	for _, mix := range tpcw.StandardMixes() {
-		res, err := tpcw.Run(tpcw.Config{
-			Mix: mix, EBs: 100, Seed: seed,
-			Duration: scale.SimDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-			TrackSeries: true,
-		})
+		cfg := scale.config(mix, 100, seed)
+		cfg.TrackSeries = true
+		res, err := tpcw.Run(cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: figure 5/6 %s: %w", mix.Name, err)
 		}
@@ -265,11 +261,9 @@ type TypeBreakdownRow struct {
 func Figure7And8(seed int64, scale Scale) ([]TypeBreakdownRow, error) {
 	var rows []TypeBreakdownRow
 	for _, mix := range tpcw.StandardMixes() {
-		res, err := tpcw.Run(tpcw.Config{
-			Mix: mix, EBs: 100, Seed: seed,
-			Duration: scale.SimDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-			TrackSeries: true,
-		})
+		cfg := scale.config(mix, 100, seed)
+		cfg.TrackSeries = true
+		res, err := tpcw.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 7/8 %s: %w", mix.Name, err)
 		}

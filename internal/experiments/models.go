@@ -22,30 +22,10 @@ type AccuracyRow struct {
 	MAPErr   float64
 }
 
-// measureSweep runs the testbed at each population and returns measured
-// throughputs.
-func measureSweep(mix tpcw.Mix, thinkTime float64, populations []int, seed int64, scale Scale) ([]float64, error) {
-	out := make([]float64, 0, len(populations))
-	for _, n := range populations {
-		res, err := tpcw.Run(tpcw.Config{
-			Mix: mix, EBs: n, ThinkTime: thinkTime, Seed: seed + int64(n)*13,
-			Duration: scale.SimDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: measuring %s at %d EBs: %w", mix.Name, n, err)
-		}
-		out = append(out, res.Throughput)
-	}
-	return out, nil
-}
-
 // fitCharacterizations runs a fitting experiment at the given Zestim and
 // characterizes both tiers.
 func fitCharacterizations(mix tpcw.Mix, zEstim float64, ebs int, seed int64, scale Scale) (front, db inference.Characterization, err error) {
-	run, err := tpcw.Run(tpcw.Config{
-		Mix: mix, EBs: ebs, ThinkTime: zEstim, Seed: seed,
-		Duration: scale.FitDuration, Warmup: scale.SimWarmup, Cooldown: scale.SimCooldown,
-	})
+	run, err := tpcw.Run(scale.fitConfig(mix, zEstim, ebs, seed))
 	if err != nil {
 		return front, db, fmt.Errorf("experiments: fitting run %s Zestim=%v: %w", mix.Name, zEstim, err)
 	}
@@ -68,27 +48,30 @@ func Figure10(seed int64, scale Scale, populations []int) ([]AccuracyRow, error)
 	if len(populations) == 0 {
 		populations = []int{25, 50, 75, 100, 125, 150}
 	}
+	suite := measurementSuite("figure10", scale, standardMixNames(), 0.5, populations, seed+1000)
+	srep, err := runMeasurement(suite, 13)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 10: %w", err)
+	}
+	measured := measuredThroughputs(srep)
 	var rows []AccuracyRow
-	for _, mix := range tpcw.StandardMixes() {
+	for m, mix := range tpcw.StandardMixes() {
 		front, db, err := fitCharacterizations(mix, 0.5, 50, seed, scale)
 		if err != nil {
 			return nil, err
 		}
 		net := mva.Model(front.MeanServiceTime, db.MeanServiceTime, 0.5)
-		measured, err := measureSweep(mix, 0.5, populations, seed+1000, scale)
-		if err != nil {
-			return nil, err
-		}
 		for i, n := range populations {
 			pred, err := mva.Solve(net, n)
 			if err != nil {
 				return nil, err
 			}
+			meas := measured[m*len(populations)+i]
 			rows = append(rows, AccuracyRow{
 				Mix: mix.Name, EBs: n,
-				Measured: measured[i],
+				Measured: meas,
 				MVA:      pred.Throughput,
-				MVAErr:   relError(pred.Throughput, measured[i]),
+				MVAErr:   relError(pred.Throughput, meas),
 			})
 		}
 	}
@@ -139,10 +122,12 @@ func Figure11(seed int64, scale Scale, populations []int) ([]Figure11Row, error)
 	if err != nil {
 		return nil, err
 	}
-	measured, err := measureSweep(mix, 0.5, populations, seed+2000, scale)
+	suite := measurementSuite("figure11", scale, []string{mix.Name}, 0.5, populations, seed+2000)
+	srep, err := runMeasurement(suite, 13)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: figure 11: %w", err)
 	}
+	measured := measuredThroughputs(srep)
 	preds05, err := plan05.Predict(populations)
 	if err != nil {
 		return nil, err
@@ -192,8 +177,14 @@ func Figure12(seed int64, scale Scale, populations []int) ([]Figure12Result, err
 		"shopping": {2, 286},
 		"ordering": {3, 98},
 	}
+	suite := measurementSuite("figure12", scale, standardMixNames(), 0.5, populations, seed+3000)
+	srep, err := runMeasurement(suite, 13)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 12: %w", err)
+	}
+	allMeasured := measuredThroughputs(srep)
 	var out []Figure12Result
-	for _, mix := range tpcw.StandardMixes() {
+	for m, mix := range tpcw.StandardMixes() {
 		front, db, err := fitCharacterizations(mix, 7, 50, seed, scale)
 		if err != nil {
 			return nil, err
@@ -205,10 +196,7 @@ func Figure12(seed int64, scale Scale, populations []int) ([]Figure12Result, err
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 12 plan for %s: %w", mix.Name, err)
 		}
-		measured, err := measureSweep(mix, 0.5, populations, seed+3000, scale)
-		if err != nil {
-			return nil, err
-		}
+		measured := allMeasured[m*len(populations) : (m+1)*len(populations)]
 		acc, err := plan.Compare(populations, measured)
 		if err != nil {
 			return nil, err

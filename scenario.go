@@ -6,11 +6,14 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/ctmc"
 	"repro/internal/inference"
 	"repro/internal/mapqn"
+	"repro/internal/markov"
 	"repro/internal/mva"
 	"repro/internal/stats"
 	"repro/internal/tpcw"
+	"repro/internal/trace"
 	"repro/internal/validate"
 )
 
@@ -118,6 +121,15 @@ func (p *progressEmitter) emit(ev ProgressEvent) {
 // cancellation; sc.OnProgress (when set) observes replica completions and
 // per-population solves.
 func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	return runScenario(ctx, sc, nil)
+}
+
+// runScenario executes one scenario, optionally sharing a suite-level
+// stage memo (nil runs every stage cold). The memoized stages —
+// characterize, fit, and the MAP-network sweep — are deterministic pure
+// functions of their inputs, so a memo hit produces a report
+// bit-identical to a cold run (pinned by test).
+func runScenario(ctx context.Context, sc Scenario, memo *core.Memo) (*Report, error) {
 	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -128,7 +140,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 	prog := &progressEmitter{fn: sc.OnProgress}
 	if sc.WantsModel() {
-		if err := runModelSolvers(ctx, sc, rep, prog); err != nil {
+		if err := runModelSolvers(ctx, sc, rep, prog, memo); err != nil {
 			return nil, err
 		}
 	}
@@ -170,13 +182,29 @@ func resolveTierNames(sc Scenario) ([]string, error) {
 
 // characterizeTiers turns every TierSpec into the three-parameter
 // characterization the models consume: explicit specs are passed
-// through, sampled specs run the Section 4.1 estimation pipeline.
-func characterizeTiers(sc Scenario, prog *progressEmitter) ([]Characterization, error) {
+// through, sampled specs run the Section 4.1 estimation pipeline
+// (memoized per distinct sample set when a suite memo is supplied).
+func characterizeTiers(sc Scenario, prog *progressEmitter, memo *core.Memo) ([]Characterization, error) {
 	popts := plannerOptions(sc)
 	chars := make([]Characterization, len(sc.Tiers))
 	for i, spec := range sc.Tiers {
 		if spec.Samples != nil {
-			c, err := inference.Characterize(*spec.Samples, popts.Inference)
+			// Hashing the full sample stream is only worth it when a
+			// suite memo can reuse the result; cold runs skip the key.
+			var key string
+			if memo != nil {
+				var err error
+				key, err = core.HashJSON(struct {
+					Samples   *trace.UtilizationSamples `json:"samples"`
+					Inference inference.Options         `json:"inference"`
+				}{spec.Samples, popts.Inference})
+				if err != nil {
+					return nil, fmt.Errorf("burst: tier %d (%s): %w", i, spec.Name, err)
+				}
+			}
+			c, err := memo.Characterize(key, func() (Characterization, error) {
+				return inference.Characterize(*spec.Samples, popts.Inference)
+			})
 			if err != nil {
 				return nil, fmt.Errorf("burst: tier %d (%s): %w", i, spec.Name, err)
 			}
@@ -199,9 +227,12 @@ func characterizeTiers(sc Scenario, prog *progressEmitter) ([]Characterization, 
 }
 
 // runModelSolvers executes the analytical solvers (map, mva, bounds)
-// over the scenario's declared tiers.
-func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter) error {
-	chars, err := characterizeTiers(sc, prog)
+// over the scenario's declared tiers. With a non-nil memo, the
+// per-tier MAP(2) fits and the whole MAP-network population sweep are
+// served from the suite-level stage cache when an identical model was
+// already evaluated by another cell.
+func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter, memo *core.Memo) error {
+	chars, err := characterizeTiers(sc, prog, memo)
 	if err != nil {
 		return err
 	}
@@ -215,16 +246,13 @@ func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progre
 
 	needFit := sc.Wants(SolverMAP) || sc.Wants(SolverBounds)
 	if needFit {
-		plan, err := core.BuildPlanNFromCharacterizations(chars, sc.ThinkTime, popts)
+		plan, err := buildPlanMemo(chars, names, sc, popts, memo)
 		if err != nil {
 			return err
 		}
-		applyVisits(plan, sc.Tiers)
 		rep.Tiers = tierReports(plan)
 		if sc.Wants(SolverMAP) {
-			preds, err := plan.PredictCtx(ctx, sc.Populations, func(idx, pop int, _ MAPNetworkMetricsN) {
-				prog.emit(ProgressEvent{Stage: core.StageSolve, Population: pop, Step: idx + 1, Total: len(sc.Populations)})
-			})
+			preds, err := solveSweepMemo(ctx, plan, sc, prog, memo)
 			if err != nil {
 				return err
 			}
@@ -281,13 +309,79 @@ func solveMVA(net mva.Network, populations []int, rep *Report) error {
 	return nil
 }
 
-// applyVisits folds TierSpec visit ratios into a freshly built plan.
-func applyVisits(plan *PlanN, specs []TierSpec) {
-	for i := range plan.Tiers {
-		if v := specs[i].Visits; v > 0 {
-			plan.Tiers[i].Visits = v
+// buildPlanMemo assembles the N-tier plan, fitting a MAP(2) per tier —
+// each fit memoized by its (characterization, fit options) key so a
+// suite re-fits every distinct tier spec exactly once.
+func buildPlanMemo(chars []Characterization, names []string, sc Scenario, popts core.PlannerOptions, memo *core.Memo) (*PlanN, error) {
+	tiers := make([]core.Tier, len(chars))
+	for i, c := range chars {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("burst: %s characterization: %w", names[i], err)
 		}
+		var key string
+		if memo != nil {
+			var err error
+			key, err = core.HashJSON(struct {
+				Mean float64           `json:"mean"`
+				I    float64           `json:"i"`
+				P95  float64           `json:"p95"`
+				Fit  markov.FitOptions `json:"fit"`
+			}{c.MeanServiceTime, c.IndexOfDispersion, c.P95ServiceTime, popts.Fit})
+			if err != nil {
+				return nil, fmt.Errorf("burst: %s MAP fit: %w", names[i], err)
+			}
+		}
+		fit, err := memo.Fit(key, func() (markov.FitResult, error) {
+			return markov.FitThreePoint(c.MeanServiceTime, c.IndexOfDispersion, c.P95ServiceTime, popts.Fit)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("burst: %s MAP fit: %w", names[i], err)
+		}
+		visits := 1.0
+		if v := sc.Tiers[i].Visits; v > 0 {
+			visits = v
+		}
+		tiers[i] = core.Tier{Name: names[i], Characterization: c, Fit: fit, Visits: visits}
 	}
+	return core.NewPlanN(tiers, sc.ThinkTime, popts)
+}
+
+// solveSweepMemo evaluates the plan's warm-started MAP+MVA population
+// sweep, memoized by the full model identity (tier characterizations,
+// names, visits, think time, population list, fit and solver options) —
+// the engine's "(model-hash, populations, tolerance)" key. Memoized
+// sweeps replay no per-population progress; their results are
+// bit-identical to a cold sweep.
+func solveSweepMemo(ctx context.Context, plan *PlanN, sc Scenario, prog *progressEmitter, memo *core.Memo) ([]core.PredictionN, error) {
+	progress := func(idx, pop int, _ MAPNetworkMetricsN) {
+		prog.emit(ProgressEvent{Stage: core.StageSolve, Population: pop, Step: idx + 1, Total: len(sc.Populations)})
+	}
+	if memo == nil {
+		return plan.PredictCtx(ctx, sc.Populations, progress)
+	}
+	type tierKey struct {
+		Name   string           `json:"name"`
+		Char   Characterization `json:"char"`
+		Visits float64          `json:"visits"`
+	}
+	tiers := make([]tierKey, len(plan.Tiers))
+	for i, t := range plan.Tiers {
+		tiers[i] = tierKey{Name: t.Name, Char: t.Characterization, Visits: t.Visits}
+	}
+	popts := plannerOptions(sc)
+	key, err := core.HashJSON(struct {
+		Tiers       []tierKey         `json:"tiers"`
+		ThinkTime   float64           `json:"think_time"`
+		Populations []int             `json:"populations"`
+		Fit         markov.FitOptions `json:"fit"`
+		Solver      ctmc.Options      `json:"solver"`
+	}{tiers, sc.ThinkTime, sc.Populations, popts.Fit, popts.Solver})
+	if err != nil {
+		return nil, fmt.Errorf("burst: solve key: %w", err)
+	}
+	return memo.Solve(key, func() ([]core.PredictionN, error) {
+		return plan.PredictCtx(ctx, sc.Populations, progress)
+	})
 }
 
 // tierReports summarizes a plan's tiers for the report.

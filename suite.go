@@ -1,0 +1,114 @@
+package burst
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The suite engine: a Suite declares a base Scenario plus a Grid of
+// parameter axes (per-tier mean/I/p95, think time, population lists,
+// mix, solver selection, replicas, seeds); expansion crosses the axes
+// deterministically into named, content-addressed cells, and RunSuite
+// executes them over a worker pool with stage memoization and streaming
+// report sinks. This is how grid-shaped studies — the paper's
+// burstiness-sensitivity and accuracy sweeps — scale past one Run.
+type (
+	// Suite is a declarative batch: a base Scenario crossed with a Grid.
+	Suite = core.Suite
+	// Grid declares the parameter axes of a suite.
+	Grid = core.Grid
+	// TierAxis varies one explicit tier parameter across cells.
+	TierAxis = core.TierAxis
+	// AxisValue is one resolved grid coordinate of a cell.
+	AxisValue = core.AxisValue
+	// SuiteCell is one expanded, content-addressed scenario of a suite.
+	SuiteCell = core.SuiteCell
+	// SuiteRow is one finished cell as streamed to sinks.
+	SuiteRow = core.SuiteRow
+	// SuiteReport aggregates a suite run in expansion order.
+	SuiteReport = core.SuiteReport
+	// SuiteEvent is one progress notification from a running suite.
+	SuiteEvent = core.SuiteEvent
+	// SuiteProgressFunc observes suite execution.
+	SuiteProgressFunc = core.SuiteProgressFunc
+	// ReportSink consumes suite rows as cells finish.
+	ReportSink = core.ReportSink
+	// MemorySink collects rows in memory.
+	MemorySink = core.MemorySink
+	// JSONLSink streams rows as JSON Lines, one flushed object per cell.
+	JSONLSink = core.JSONLSink
+	// MemoStats counts suite stage-cache traffic.
+	MemoStats = core.MemoStats
+	// CellRunner executes one expanded cell (see core.RunSuite).
+	CellRunner = core.CellRunner
+)
+
+// Suite progress stages, as reported in SuiteEvent.Stage.
+const (
+	SuiteStageStart = core.SuiteStageStart
+	SuiteStageDone  = core.SuiteStageDone
+	SuiteStageSkip  = core.SuiteStageSkip
+)
+
+// ParseSuite decodes a Suite from JSON, rejecting unknown fields.
+func ParseSuite(data []byte) (Suite, error) { return core.ParseSuite(data) }
+
+// LoadSuite reads and parses a suite file.
+func LoadSuite(path string) (Suite, error) { return core.LoadSuite(path) }
+
+// NewMemorySink returns an in-memory report sink.
+func NewMemorySink() *MemorySink { return core.NewMemorySink() }
+
+// NewJSONLSink wraps an io.Writer as a JSONL report sink (the caller
+// retains ownership of the writer).
+func NewJSONLSink(w io.Writer) *JSONLSink { return core.NewJSONLSink(w) }
+
+// OpenJSONLSink creates (or truncates) a JSONL report file.
+func OpenJSONLSink(path string) (*JSONLSink, error) { return core.OpenJSONLSink(path) }
+
+// AppendJSONLSink opens a JSONL report file for resuming: existing rows
+// stay, new cells append after them.
+func AppendJSONLSink(path string) (*JSONLSink, error) { return core.AppendJSONLSink(path) }
+
+// ReadJSONLHashes returns the content hashes of completed rows in a
+// JSONL report file — the skip set for resuming a suite.
+func ReadJSONLHashes(path string) (map[string]bool, error) { return core.ReadJSONLHashes(path) }
+
+// RunSuite expands the suite's grid and runs every cell through the
+// scenario pipeline (Run) over a pool of suite.Workers goroutines,
+// sharing one stage memo across cells: characterize→fit results are
+// keyed by tier spec and MAP-network sweeps by (model, populations,
+// tolerance), so a 50-cell grid that varies only population re-fits
+// each tier once. Memoized results are bit-identical to a cold
+// per-scenario Run, and the returned SuiteReport lists cells in
+// expansion order regardless of worker count (both pinned by tests).
+//
+// Finished cells stream to the sinks as they complete; cells whose hash
+// appears in suite.Skip are marked skipped without executing (resume).
+// The first cell error cancels the rest and is returned after in-flight
+// cells drain. Sinks are closed before RunSuite returns.
+func RunSuite(ctx context.Context, suite Suite, sinks ...ReportSink) (*SuiteReport, error) {
+	memo := core.NewMemo()
+	// Cells inherit the base scenario's OnProgress; concurrent cells
+	// would otherwise invoke it in parallel, so serialize it suite-wide.
+	var progMu sync.Mutex
+	rep, err := core.RunSuite(ctx, suite, func(ctx context.Context, cell SuiteCell) (*Report, error) {
+		sc := cell.Scenario
+		if fn := sc.OnProgress; fn != nil {
+			sc.OnProgress = func(ev ProgressEvent) {
+				progMu.Lock()
+				defer progMu.Unlock()
+				fn(ev)
+			}
+		}
+		return runScenario(ctx, sc, memo)
+	}, sinks...)
+	if err != nil {
+		return nil, err
+	}
+	rep.Memo = memo.Stats()
+	return rep, nil
+}
