@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check race xvalidate scenario suite bench
+.PHONY: check build test vet fmt-check race xvalidate scenario suite bench benchgate
 
 check: vet fmt-check build test
 
@@ -49,15 +49,28 @@ scenario:
 suite:
 	$(GO) run ./cmd/burstlab -suite examples/suite/suite.json
 
-# bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3 solves,
-# the warm/cold population sweep, the suite-engine batch run, and the
-# generator-assembly microbench — and archives the numbers (ns/op,
-# states, nnz, allocs, throughput) as JSON. -benchtime=1x because each
-# solve takes seconds and a single iteration is already deterministic
-# enough for a trajectory.
+# bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3/K=4
+# solves, the warm/cold population sweep, the suite-engine batch run,
+# and the generator microbenches (assembly strategies, CSR vs
+# matrix-free backends) — and archives the numbers (ns/op, states, nnz,
+# allocs, throughput) as JSON. -benchtime=1x because each solve takes
+# seconds and a single iteration is already deterministic enough for a
+# trajectory.
 bench:
 	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite' -benchmem -benchtime=1x . > .bench_root.txt
-	$(GO) test -run=NONE -bench='GeneratorAssembly' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
+	$(GO) test -run=NONE -bench='GeneratorAssembly|GeneratorBackends' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
 	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > BENCH_solver.json
 	rm -f .bench_root.txt .bench_mapqn.txt
 	cat BENCH_solver.json
+
+# benchgate is the perf-regression gate: re-run the bench suite into a
+# scratch document and fail if any benchmark's ns/op regressed more
+# than 25% against the committed BENCH_solver.json. CI runs this on
+# every push; run it locally before optimization PRs.
+benchgate:
+	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='GeneratorAssembly|GeneratorBackends' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
+	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > .bench_fresh.json
+	rm -f .bench_root.txt .bench_mapqn.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_solver.json -fresh .bench_fresh.json
+	rm -f .bench_fresh.json

@@ -38,16 +38,28 @@ func BenchmarkSolveThreeTier(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	const ebs = 30
+	lb, err := FitMAP2(0.002, 4, 0.008, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	cases := []struct {
 		name     string
+		ebs      int
 		stations []Station
 	}{
-		{"K=2", []Station{
+		{"K=2", 30, []Station{
 			{Name: "front", MAP: front.MAP},
 			{Name: "db", MAP: db.MAP},
 		}},
-		{"K=3", []Station{
+		{"K=3", 30, []Station{
+			{Name: "front", MAP: front.MAP},
+			{Name: "app", MAP: app.MAP},
+			{Name: "db", MAP: db.MAP},
+		}},
+		// The K=4 chain runs at a smaller population so the bench stays
+		// minutes-scale; its state space still dwarfs the K=3 one.
+		{"K=4", 15, []Station{
+			{Name: "lb", MAP: lb.MAP},
 			{Name: "front", MAP: front.MAP},
 			{Name: "app", MAP: app.MAP},
 			{Name: "db", MAP: db.MAP},
@@ -60,7 +72,7 @@ func BenchmarkSolveThreeTier(b *testing.B) {
 				m, err := SolveMAPNetworkN(MAPNetworkModelN{
 					Stations:  c.stations,
 					ThinkTime: 0.5,
-					Customers: ebs,
+					Customers: c.ebs,
 				}, SolverOptions{Tol: 1e-8})
 				if err != nil {
 					b.Fatal(err)

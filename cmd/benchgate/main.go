@@ -1,0 +1,130 @@
+// Command benchgate compares a fresh benchmark run against the committed
+// baseline (BENCH_solver.json) and fails when any shared benchmark's
+// ns/op regressed beyond the allowed factor — the repository's
+// performance-regression gate (`make benchgate`).
+//
+//	benchgate -baseline BENCH_solver.json -fresh fresh.json
+//	benchgate -baseline BENCH_solver.json -fresh fresh.json -threshold 0.25
+//
+// Both inputs are benchjson documents. Benchmarks present in only one
+// file are reported but never fail the gate (new benchmarks land before
+// their baseline row does; retired ones disappear from fresh runs).
+// Improvements are reported alongside regressions so the gate's output
+// doubles as a quick perf diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's per-line record.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors cmd/benchjson's document.
+type Report struct {
+	GeneratedAt string      `json:"generated_at"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_solver.json", "committed benchjson baseline")
+	freshPath := flag.String("fresh", "", "benchjson document of the fresh run to gate")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op regression (0.25 = fail beyond +25%)")
+	flag.Parse()
+
+	if *freshPath == "" {
+		return fmt.Errorf("-fresh is required (a benchjson document of the run to gate)")
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("-threshold %v must be >= 0", *threshold)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	base := indexNsOp(baseline)
+	cur := indexNsOp(fresh)
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failed int
+	for _, name := range names {
+		b := base[name]
+		f, ok := cur[name]
+		if !ok {
+			fmt.Printf("  ~ %-48s not in fresh run (skipped)\n", name)
+			continue
+		}
+		ratio := f / b
+		switch {
+		case ratio > 1+*threshold:
+			failed++
+			fmt.Printf("FAIL %-48s %12.0f -> %12.0f ns/op (%+.1f%% > +%.0f%% allowed)\n",
+				name, b, f, 100*(ratio-1), 100**threshold)
+		default:
+			fmt.Printf("  ok %-48s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				name, b, f, 100*(ratio-1))
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("  + %-48s new benchmark (no baseline; skipped)\n", name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond +%.0f%% ns/op", failed, 100**threshold)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within +%.0f%% of baseline\n", len(names), 100**threshold)
+	return nil
+}
+
+// load reads and decodes one benchjson document.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+// indexNsOp maps benchmark name to its ns/op metric, skipping rows
+// without one (benchjson archives custom-metric-only rows too).
+func indexNsOp(rep *Report) map[string]float64 {
+	idx := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			idx[b.Name] = ns
+		}
+	}
+	return idx
+}

@@ -54,7 +54,14 @@ func run() error {
 	workers := flag.Int("workers", 0, "with -suite: cap concurrently running cells (0 = GOMAXPROCS)")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary and progress")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	backend := flag.String("backend", "", "CTMC generator backend: csr or matrix-free (empty = auto-select by state count); overrides the scenario's solver options")
 	flag.Parse()
+
+	switch burst.SolverBackend(*backend) {
+	case burst.BackendAuto, burst.BackendCSR, burst.BackendMatrixFree:
+	default:
+		return fmt.Errorf("unknown -backend %q (want csr or matrix-free)", *backend)
+	}
 
 	if (*scenarioPath == "") == (*suitePath == "") {
 		return fmt.Errorf("exactly one of -scenario or -suite is required (see examples/scenariofile, examples/suite)")
@@ -69,13 +76,14 @@ func run() error {
 	}
 
 	if *suitePath != "" {
-		return runSuite(ctx, *suitePath, *outPath, *resume, *workers, *quiet)
+		return runSuite(ctx, *suitePath, *outPath, *backend, *resume, *workers, *quiet)
 	}
 
 	sc, err := burst.LoadScenario(*scenarioPath)
 	if err != nil {
 		return err
 	}
+	applyBackend(&sc, *backend)
 
 	if !*quiet {
 		sc.OnProgress = func(ev burst.ProgressEvent) {
@@ -112,14 +120,27 @@ func run() error {
 	return nil
 }
 
+// applyBackend forces the CTMC generator backend on a scenario's solver
+// options; an empty selection leaves the scenario untouched.
+func applyBackend(sc *burst.Scenario, backend string) {
+	if backend == "" {
+		return
+	}
+	if sc.Planner == nil {
+		sc.Planner = &burst.PlannerOptions{}
+	}
+	sc.Planner.Solver.Backend = burst.SolverBackend(backend)
+}
+
 // runSuite executes a suite file: expand the grid, skip cells already
 // completed in a resumed output, stream finished cells to the JSONL
 // sink, and print an aggregated per-cell table.
-func runSuite(ctx context.Context, path, outPath string, resume bool, workers int, quiet bool) error {
+func runSuite(ctx context.Context, path, outPath, backend string, resume bool, workers int, quiet bool) error {
 	suite, err := burst.LoadSuite(path)
 	if err != nil {
 		return err
 	}
+	applyBackend(&suite.Base, backend)
 	if workers != 0 {
 		suite.Workers = workers
 	}
@@ -208,6 +229,21 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 		}
 	}
 	w.Flush()
+	backend, peak := "", 0
+	for _, row := range rep.Rows {
+		if row.Skipped || row.Report == nil {
+			continue
+		}
+		if row.Report.SolverBackend != "" {
+			backend = row.Report.SolverBackend
+		}
+		if row.Report.PeakStates > peak {
+			peak = row.Report.PeakStates
+		}
+	}
+	if backend != "" {
+		fmt.Printf("solver: backend=%s peak CTMC states=%d\n", backend, peak)
+	}
 	m := rep.Memo
 	fmt.Printf("memo: characterize %d/%d hits, fit %d/%d hits, solve %d/%d hits\n",
 		m.CharHits, m.CharHits+m.CharMisses,
@@ -299,6 +335,9 @@ func printSummary(rep *burst.Report, elapsed time.Duration) {
 		fmt.Fprintln(w, row)
 	}
 	w.Flush()
+	if rep.SolverBackend != "" {
+		fmt.Printf("solver: backend=%s peak CTMC states=%d\n", rep.SolverBackend, rep.PeakStates)
+	}
 
 	// Per-tier validation detail, when the loop was closed.
 	for _, r := range rep.Results {

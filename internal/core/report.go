@@ -92,6 +92,9 @@ type ValidationPoint struct {
 	MAPWithinCI bool `json:"map_within_ci"`
 	// States is the size of the CTMC the MAP model solved.
 	States int `json:"states"`
+	// SolverBackend names the generator representation the MAP solve
+	// used ("csr" or "matrix-free").
+	SolverBackend string `json:"solver_backend,omitempty"`
 	// Tiers holds the per-tier utilization comparison.
 	Tiers []TierValidation `json:"tiers"`
 }
@@ -124,6 +127,38 @@ type Report struct {
 	Tiers []TierReport `json:"tiers,omitempty"`
 	// Results holds one entry per population, in scenario order.
 	Results []PopulationReport `json:"results"`
+	// SolverBackend names the CTMC generator representation the exact
+	// MAP solves used ("csr" or "matrix-free"); empty when no exact
+	// solve ran. Suite JSONL rows inherit it, so grid output shows which
+	// cells ran matrix-free.
+	SolverBackend string `json:"solver_backend,omitempty"`
+	// PeakStates is the largest CTMC solved across the report's
+	// populations (MAP sweep and cross-validation solves).
+	PeakStates int `json:"peak_states,omitempty"`
+}
+
+// RecordSolverFootprint fills SolverBackend and PeakStates from the
+// per-population results. Callers run it once after all solvers finish.
+func (r *Report) RecordSolverFootprint() {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.MAP != nil {
+			if res.MAP.States > r.PeakStates {
+				r.PeakStates = res.MAP.States
+			}
+			if res.MAP.SolverBackend != "" {
+				r.SolverBackend = res.MAP.SolverBackend
+			}
+		}
+		if res.Validation != nil {
+			if res.Validation.States > r.PeakStates {
+				r.PeakStates = res.Validation.States
+			}
+			if res.Validation.SolverBackend != "" {
+				r.SolverBackend = res.Validation.SolverBackend
+			}
+		}
+	}
 }
 
 // JSON serializes the report as indented JSON.

@@ -31,6 +31,16 @@ type Options struct {
 	// zero. A mismatched length or non-positive total mass falls back to
 	// the uniform start. The dense direct solve ignores it.
 	Initial []float64 `json:"initial,omitempty"`
+	// Backend selects the generator representation used by model builders
+	// that construct the chain (BackendAuto picks CSR below a state-count
+	// threshold and matrix-free above it). The solver itself is
+	// representation-agnostic — it consumes whichever Operator the
+	// builder hands it.
+	Backend Backend `json:"backend,omitempty"`
+	// MaxStates caps how many states a model builder may enumerate before
+	// erroring out cleanly instead of exhausting memory. Zero means the
+	// builder's per-backend default.
+	MaxStates int `json:"max_states,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -82,22 +92,22 @@ func ValidateGenerator(q *matrix.CSR) error {
 }
 
 // iterState is the shared workspace of the iterative solvers: the
-// transposed generator (built once — Gauss-Seidel and the power fallback
-// both consume Q^T) and a scratch vector reused across residual checks.
+// generator viewed as an Operator (Gauss-Seidel and the power fallback
+// both consume Q^T through it) and a scratch vector reused across
+// residual checks.
 type iterState struct {
-	qt      *matrix.CSR
+	op      Operator
 	scratch []float64
 }
 
-func newIterState(q *matrix.CSR) *iterState {
-	return &iterState{qt: q.Transpose(), scratch: make([]float64, q.N)}
+func newIterState(op Operator) *iterState {
+	return &iterState{op: op, scratch: make([]float64, op.Dim())}
 }
 
-// residual returns ||pi*Q||_inf, computed as ||Q^T pi||_inf on the
-// pre-transposed generator (a gather product, which also parallelizes)
-// into the reused scratch buffer.
+// residual returns ||pi*Q||_inf, computed through the operator's
+// transpose product into the reused scratch buffer.
 func (s *iterState) residual(pi []float64) float64 {
-	s.qt.MulVecTo(s.scratch, pi)
+	s.op.VecMulTo(s.scratch, pi)
 	max := 0.0
 	for _, x := range s.scratch {
 		if a := math.Abs(x); a > max {
@@ -146,16 +156,30 @@ func SteadyState(q *matrix.CSR, opts Options) (Result, error) {
 // direct path (small chains) runs to completion regardless — it is
 // microseconds of work.
 func SteadyStateCtx(ctx context.Context, q *matrix.CSR, opts Options) (Result, error) {
+	return SteadyStateOperatorCtx(ctx, q, opts)
+}
+
+// SteadyStateOperator is SteadyStateOperatorCtx without cancellation.
+func SteadyStateOperator(op Operator, opts Options) (Result, error) {
+	return SteadyStateOperatorCtx(context.Background(), op, opts)
+}
+
+// SteadyStateOperatorCtx solves pi*Q = 0, pi*1 = 1 for a generator
+// presented as an Operator — materialized or matrix-free. Chains at or
+// below DenseCutoff are solved directly (the balance equations are
+// recovered through ScanTranspose), exactly like the CSR path; larger
+// chains run the iterative pipeline of Gauss-Seidel with a uniformized
+// power fallback.
+func SteadyStateOperatorCtx(ctx context.Context, op Operator, opts Options) (Result, error) {
 	opts = opts.withDefaults()
-	if q.N <= opts.DenseCutoff {
-		pi, err := steadyStateDense(q)
+	st := newIterState(op)
+	if op.Dim() <= opts.DenseCutoff {
+		pi, err := steadyStateDense(op)
 		if err != nil {
 			return Result{}, err
 		}
-		st := newIterState(q)
 		return Result{Pi: pi, Iterations: 0, Residual: st.residual(pi), Method: "dense-lu"}, nil
 	}
-	st := newIterState(q)
 	// Gauss-Seidel converges in a few thousand sweeps on chains where it
 	// works at all (birth-death-like structure); on nearly-decomposable
 	// chains — e.g., MAP-modulated queueing networks with slow phase
@@ -169,29 +193,29 @@ func SteadyStateCtx(ctx context.Context, q *matrix.CSR, opts Options) (Result, e
 	if gsOpts.MaxIter > 1500 {
 		gsOpts.MaxIter = 1500
 	}
-	res, err := gaussSeidel(ctx, q, st, gsOpts)
+	res, err := gaussSeidel(ctx, st, gsOpts)
 	if err == nil {
 		return res, nil
 	}
 	if !errors.Is(err, ErrNoConvergence) {
 		return Result{}, err
 	}
-	if len(res.Pi) == q.N {
+	if len(res.Pi) == op.Dim() {
 		opts.Initial = res.Pi
 	}
-	return powerIteration(ctx, q, st, opts)
+	return powerIteration(ctx, st, opts)
 }
 
 // steadyStateDense solves the balance equations directly.
-func steadyStateDense(q *matrix.CSR) ([]float64, error) {
-	n := q.N
+func steadyStateDense(op Operator) ([]float64, error) {
+	n := op.Dim()
 	a := matrix.NewDense(n, n)
 	// a = Q^T with the last equation replaced by normalization.
-	for r := 0; r < n; r++ {
-		for k := q.RowPtr[r]; k < q.RowPtr[r+1]; k++ {
-			a.Set(q.ColIdx[k], r, q.Vals[k])
+	op.ScanTranspose(func(row int, cols []int, vals []float64) {
+		for k, c := range cols {
+			a.Set(row, c, vals[k])
 		}
-	}
+	})
 	for j := 0; j < n; j++ {
 		a.Set(n-1, j, 1)
 	}
@@ -214,11 +238,11 @@ func steadyStateDense(q *matrix.CSR) ([]float64, error) {
 // contracts, which makes the final iterate the effective warm start for
 // the power fallback (empirically much better than a lower-residual
 // iterate from earlier in the run).
-func gaussSeidel(ctx context.Context, q *matrix.CSR, st *iterState, opts Options) (Result, error) {
-	n := q.N
-	qt := st.qt
+func gaussSeidel(ctx context.Context, st *iterState, opts Options) (Result, error) {
+	op := st.op
+	n := op.Dim()
 	pi := initialVector(n, opts)
-	scale := q.MaxAbsDiag()
+	scale := op.MaxAbsDiag()
 	if scale == 0 {
 		return Result{}, errors.New("ctmc: zero generator")
 	}
@@ -228,16 +252,25 @@ func gaussSeidel(ctx context.Context, q *matrix.CSR, st *iterState, opts Options
 			return Result{}, err
 		}
 		maxDelta := 0.0
-		for i := 0; i < n; i++ {
-			d := qt.Diag(i) // = q_{ii} <= 0
+		// Each sweep walks the rows of Q^T through the operator; row i of
+		// Q^T carries q_{ji} for all j, so one pass gives both the
+		// diagonal and the off-diagonal sum in stored order — the same
+		// accumulation the materialized-transpose loop performed.
+		op.ScanTranspose(func(i int, cols []int, vals []float64) {
+			d := 0.0 // = q_{ii} <= 0
+			for k, j := range cols {
+				if j == i {
+					d = vals[k]
+					break
+				}
+			}
 			if d >= 0 {
-				continue // absorbing or isolated state: leave mass as is
+				return // absorbing or isolated state: leave mass as is
 			}
 			sum := 0.0
-			for k := qt.RowPtr[i]; k < qt.RowPtr[i+1]; k++ {
-				j := qt.ColIdx[k]
+			for k, j := range cols {
 				if j != i {
-					sum += qt.Vals[k] * pi[j]
+					sum += vals[k] * pi[j]
 				}
 			}
 			next := sum / (-d)
@@ -245,7 +278,7 @@ func gaussSeidel(ctx context.Context, q *matrix.CSR, st *iterState, opts Options
 				maxDelta = delta
 			}
 			pi[i] = next
-		}
+		})
 		normalize(pi)
 		if it%8 == 0 || maxDelta == 0 {
 			r := st.residual(pi)
@@ -264,16 +297,16 @@ func gaussSeidel(ctx context.Context, q *matrix.CSR, st *iterState, opts Options
 }
 
 // powerIteration iterates x <- x*P with P = I + Q/Lambda (uniformization).
-// The product pi*Q is computed as Q^T * pi^T on the pre-transposed matrix:
+// The product pi*Q runs through the operator's transpose product:
 // row-ordered accumulation is markedly faster than the scattered writes of
 // a direct vector-matrix product on large chains.
-func powerIteration(ctx context.Context, q *matrix.CSR, st *iterState, opts Options) (Result, error) {
-	n := q.N
-	lambda := q.MaxAbsDiag() * 1.02
+func powerIteration(ctx context.Context, st *iterState, opts Options) (Result, error) {
+	op := st.op
+	n := op.Dim()
+	lambda := op.MaxAbsDiag() * 1.02
 	if lambda == 0 {
 		return Result{}, errors.New("ctmc: zero generator")
 	}
-	qt := st.qt
 	pi := initialVector(n, opts)
 	next := make([]float64, n)
 	for it := 1; it <= opts.MaxIter; it++ {
@@ -281,7 +314,7 @@ func powerIteration(ctx context.Context, q *matrix.CSR, st *iterState, opts Opti
 			return Result{}, err
 		}
 		// next = pi + (pi*Q)/lambda, with pi*Q computed as Q^T*pi.
-		qt.MulVecTo(next, pi)
+		op.VecMulTo(next, pi)
 		sum := 0.0
 		for i := range next {
 			next[i] = pi[i] + next[i]/lambda

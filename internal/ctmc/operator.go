@@ -1,0 +1,41 @@
+package ctmc
+
+// Operator is the minimal view of a CTMC generator the iterative
+// solvers need. A materialized *matrix.CSR satisfies it directly; a
+// matrix-free generator (e.g. mapqn's row-synthesizing backend) can
+// implement it without storing any nonzeros, lifting the state-space
+// ceiling from what fits in CSR arrays to what fits in a handful of
+// state-sized vectors.
+type Operator interface {
+	// Dim returns the square dimension (number of states).
+	Dim() int
+	// MulVecTo computes y = Q*x.
+	MulVecTo(y, x []float64)
+	// VecMulTo computes y = x*Q (equivalently Q^T*x) — the product
+	// probability-vector iteration and residual checks consume.
+	VecMulTo(y, x []float64)
+	// MaxAbsDiag returns max_i |q_ii|, the uniformization constant base.
+	MaxAbsDiag() float64
+	// ScanTranspose invokes fn once per row of Q^T in row order with the
+	// row's column indices (ascending) and values; the slices are valid
+	// only for the duration of the call. Gauss-Seidel sweeps the
+	// transposed balance equations through this.
+	ScanTranspose(fn func(row int, cols []int, vals []float64))
+}
+
+// Backend names a generator representation for model builders that
+// construct the chain (such as mapqn). It rides along in Options so the
+// choice reaches the builder through existing plumbing — scenario JSON,
+// suite memo keys, and warm-started sweeps included.
+type Backend string
+
+const (
+	// BackendAuto lets the builder choose: materialized CSR below its
+	// state-count threshold, matrix-free above it.
+	BackendAuto Backend = ""
+	// BackendCSR forces the materialized compressed-sparse-row generator.
+	BackendCSR Backend = "csr"
+	// BackendMatrixFree forces on-the-fly row synthesis: O(states) memory
+	// for solver vectors instead of O(nnz) for stored entries.
+	BackendMatrixFree Backend = "matrix-free"
+)

@@ -28,8 +28,8 @@ func buildGeneratorNTriplet(m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *s
 	if err != nil {
 		return nil, nil, err
 	}
-	if size > maxStates {
-		return nil, nil, fmt.Errorf("mapqn: reference builder: %d states exceed limit %d", size, maxStates)
+	if size > csrDefaultMaxStates {
+		return nil, nil, fmt.Errorf("mapqn: reference builder: %d states exceed limit %d", size, csrDefaultMaxStates)
 	}
 	thinkRate := 0.0
 	if m.ThinkTime > 0 {

@@ -30,6 +30,72 @@ func benchModel(b *testing.B, customers int) (NetworkModel, []*markov.MAP) {
 	return m, fits
 }
 
+// benchModel4 builds a K=4 fixture for the backend-comparison bench.
+func benchModel4(b *testing.B, customers int) (NetworkModel, []*markov.MAP) {
+	b.Helper()
+	fits := make([]*markov.MAP, 0, 4)
+	for _, p := range [][3]float64{{0.002, 4, 0.008}, {0.004, 10, 0.015}, {0.005, 8, 0.02}, {0.003, 25, 0.01}} {
+		fit, err := markov.FitThreePoint(p[0], p[1], p[2], markov.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fits = append(fits, fit.MAP)
+	}
+	m := NetworkModel{
+		Stations: []Station{
+			{Name: "lb", MAP: fits[0]},
+			{Name: "web", MAP: fits[1]},
+			{Name: "app", MAP: fits[2]},
+			{Name: "db", MAP: fits[3]},
+		},
+		ThinkTime: 0.5,
+		Customers: customers,
+	}
+	return m, fits
+}
+
+// BenchmarkGeneratorBackends compares what each backend materializes to
+// represent the same K=4 generator: the CSR path builds the explicit
+// sparse matrix plus the transposed copy the Gauss-Seidel solver caches
+// (O(nnz) memory), while the matrix-free path only precomputes the
+// diagonal (O(states)) and regenerates rows during each product. The
+// B/op gap between the two sub-benchmarks is the memory ceiling the
+// matrix-free backend lifts.
+func BenchmarkGeneratorBackends(b *testing.B) {
+	m, maps := benchModel4(b, 20) // 170,016 states
+	g, err := newGenParams(m, maps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gen, err := g.assembleCSR(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			t := gen.Transpose()
+			if i == 0 {
+				b.ReportMetric(float64(gen.N), "states")
+				b.ReportMetric(float64(gen.NNZ()+t.NNZ()), "nnz-resident")
+			}
+		}
+	})
+	b.Run("matrix-free", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := newMatrixFreeGen(context.Background(), g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(q.Dim()), "states")
+				b.ReportMetric(float64(q.NNZ()), "nnz-virtual")
+			}
+		}
+	})
+}
+
 // BenchmarkGeneratorAssembly isolates generator build cost from solver
 // iterations: the direct in-order CSR assembly against the
 // triplet-append-and-sort reference, on the same K=3, N=30 chain the

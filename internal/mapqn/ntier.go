@@ -122,6 +122,10 @@ type NetworkMetrics struct {
 	// SolverIterations and SolverMethod report how the chain was solved.
 	SolverIterations int    `json:"solver_iterations"`
 	SolverMethod     string `json:"solver_method"`
+	// SolverBackend names the generator representation the solve used:
+	// "csr" (materialized) or "matrix-free" (rows regenerated per
+	// product).
+	SolverBackend string `json:"solver_backend,omitempty"`
 }
 
 // AsTwoTier converts K=2 network metrics to the legacy two-station
@@ -302,10 +306,60 @@ func (s *stateSpaceN) decode(idx int, pop, phase []int) {
 	}
 }
 
-// maxStates bounds the CTMC size SolveNetwork will attempt; beyond it the
-// memory for the sparse generator alone is prohibitive and the caller
-// should fall back to NetworkBounds.
-const maxStates = 50_000_000
+// Per-backend state-count ceilings and the auto-selection threshold.
+// The CSR backend stores ~10 entries of 12 bytes per state plus a cached
+// transpose, so a few million states already costs gigabytes; the
+// matrix-free backend keeps one float64 per state and regenerates rows
+// on the fly, so its ceiling is set by the solver vectors alone.
+// ctmc.Options.MaxStates overrides the per-backend default.
+const (
+	csrDefaultMaxStates        = 2_000_000
+	matrixFreeDefaultMaxStates = 50_000_000
+	autoMatrixFreeThreshold    = 1_000_000
+)
+
+// resolveBackend maps the requested backend (auto picks CSR below the
+// threshold, matrix-free above) to a concrete one plus its state limit.
+func resolveBackend(opts ctmc.Options, size int) (ctmc.Backend, int, error) {
+	backend := opts.Backend
+	switch backend {
+	case ctmc.BackendAuto:
+		if size > autoMatrixFreeThreshold {
+			backend = ctmc.BackendMatrixFree
+		} else {
+			backend = ctmc.BackendCSR
+		}
+	case ctmc.BackendCSR, ctmc.BackendMatrixFree:
+	default:
+		return "", 0, fmt.Errorf("mapqn: unknown solver backend %q (want %q or %q)",
+			backend, ctmc.BackendCSR, ctmc.BackendMatrixFree)
+	}
+	limit := opts.MaxStates
+	if limit <= 0 {
+		if backend == ctmc.BackendMatrixFree {
+			limit = matrixFreeDefaultMaxStates
+		} else {
+			limit = csrDefaultMaxStates
+		}
+	}
+	return backend, limit, nil
+}
+
+// errStateOverflow reports a state count that does not fit in an int.
+func errStateOverflow(k, n int) error {
+	return fmt.Errorf("mapqn: state space of %d stations at N=%d overflows int; use NetworkBounds", k, n)
+}
+
+// errStateLimit reports a state count over the backend's budget, naming
+// the count and the cheaper alternatives.
+func errStateLimit(k, n, size, limit int, backend ctmc.Backend) error {
+	hint := "set ctmc.Options.Backend to matrix-free (or raise ctmc.Options.MaxStates), or fall back to NetworkBounds"
+	if backend == ctmc.BackendMatrixFree {
+		hint = "raise ctmc.Options.MaxStates or fall back to NetworkBounds"
+	}
+	return fmt.Errorf("mapqn: state space of %d stations at N=%d has %d states, over the %s backend limit %d; %s",
+		k, n, size, backend, limit, hint)
+}
 
 // SolveNetwork builds and solves the K-station CTMC exactly, returning
 // stationary per-station metrics.
@@ -343,27 +397,48 @@ func solveNetwork(ctx context.Context, m NetworkModel, opts ctmc.Options, warm *
 		}
 		maps[i] = em
 	}
-	gen, space, err := buildGeneratorN(ctx, m, maps)
+	g, err := newGenParams(m, maps)
+	if err != nil {
+		return NetworkMetrics{}, nil, errStateOverflow(len(maps), m.Customers)
+	}
+	backend, limit, err := resolveBackend(opts, g.size)
 	if err != nil {
 		return NetworkMetrics{}, nil, err
 	}
+	if g.size > limit {
+		return NetworkMetrics{}, nil, errStateLimit(g.k, g.n, g.size, limit, backend)
+	}
 	if warm != nil && warm.space != nil {
-		if init := embedPi(warm.space, space, warm.pi); init != nil {
+		if init := embedPi(warm.space, g.space, warm.pi); init != nil {
 			opts.Initial = init
 		}
 	}
-	res, err := ctmc.SteadyStateCtx(ctx, gen, opts)
+	var res ctmc.Result
+	if backend == ctmc.BackendMatrixFree {
+		op, buildErr := newMatrixFreeGen(ctx, g)
+		if buildErr != nil {
+			return NetworkMetrics{}, nil, buildErr
+		}
+		res, err = ctmc.SteadyStateOperatorCtx(ctx, op, opts)
+	} else {
+		gen, buildErr := g.assembleCSR(ctx)
+		if buildErr != nil {
+			return NetworkMetrics{}, nil, buildErr
+		}
+		res, err = ctmc.SteadyStateCtx(ctx, gen, opts)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return NetworkMetrics{}, nil, ctx.Err()
 		}
 		return NetworkMetrics{}, nil, fmt.Errorf("mapqn: steady-state solve failed: %w", err)
 	}
-	met, err := collectMetricsN(m, maps, space, res)
+	met, err := collectMetricsN(m, maps, g.space, res)
 	if err != nil {
 		return NetworkMetrics{}, nil, err
 	}
-	return met, &networkSolution{space: space, pi: res.Pi}, nil
+	met.SolverBackend = string(backend)
+	return met, &networkSolution{space: g.space, pi: res.Pi}, nil
 }
 
 // embedPi maps a stationary vector between the state spaces of two
@@ -414,174 +489,26 @@ func embedPi(from, to *stateSpaceN, pi []float64) []float64 {
 }
 
 // buildGeneratorN assembles the sparse CTMC generator of the K-station
-// network by direct in-order CSR construction: states are enumerated in
-// row order (population vectors in compRank order via nextComposition,
-// phases as a mixed-radix odometer), each row's entries are emitted into
-// the CSR arrays with the diagonal accumulated in place, and the handful
-// of per-row columns is insertion-sorted. No triplet buffer, no global
-// sort, no per-state decode.
+// network by direct in-order CSR construction: the shared rowEmitter
+// enumerates states in row order (population vectors in compRank order
+// via nextComposition, phases as a mixed-radix odometer) and streams
+// each row's insertion-sorted entries straight into the CSR arrays. No
+// triplet buffer, no global sort, no per-state decode. The same emitter
+// powers the matrix-free backend (see rowemitter.go), which regenerates
+// rows per product instead of storing them.
 func buildGeneratorN(ctx context.Context, m NetworkModel, maps []*markov.MAP) (*matrix.CSR, *stateSpaceN, error) {
-	k := len(maps)
-	n := m.Customers
-	phases := make([]int, k)
-	for i, mp := range maps {
-		phases[i] = mp.Order()
+	g, err := newGenParams(m, maps)
+	if err != nil {
+		return nil, nil, errStateOverflow(len(maps), m.Customers)
 	}
-	space := newStateSpaceN(n, phases)
-	size, err := space.sizeChecked()
-	if err != nil || size > maxStates {
-		return nil, nil, fmt.Errorf("mapqn: state space of %d stations at N=%d exceeds %d states; use NetworkBounds",
-			k, n, maxStates)
+	if g.size > csrDefaultMaxStates {
+		return nil, nil, errStateLimit(g.k, g.n, g.size, csrDefaultMaxStates, ctmc.BackendCSR)
 	}
-	thinkRate := 0.0
-	if m.ThinkTime > 0 {
-		thinkRate = 1 / m.ThinkTime
+	gen, err := g.assembleCSR(ctx)
+	if err != nil {
+		return nil, nil, err
 	}
-	// phaseStride[i] is the index step of advancing station i's phase.
-	phaseStride := make([]int, k)
-	stride := 1
-	for i := k - 1; i >= 0; i-- {
-		phaseStride[i] = stride
-		stride *= phases[i]
-	}
-	pp := space.phaseProd
-
-	// Per-state non-zero bound: diagonal + think + per-station D1 row
-	// (phases[i] completions) + D0 off-diagonals (phases[i]-1), which the
-	// free-running idle semantics cannot exceed.
-	est := 2
-	for _, p := range phases {
-		est += 2*p - 1
-	}
-	rowPtr := make([]int, size+1)
-	colIdx := make([]int, 0, size*est)
-	vals := make([]float64, 0, size*est)
-
-	// emit appends one off-diagonal entry and folds its rate into diag.
-	diag := 0.0
-	emit := func(col int, rate float64) {
-		if rate <= 0 {
-			return
-		}
-		colIdx = append(colIdx, col)
-		vals = append(vals, rate)
-		diag -= rate
-	}
-
-	pop := make([]int, k)
-	phase := make([]int, k) // mixed-radix digits of ph, station 0 most significant
-	complBase := make([]int, k)
-	row := 0
-	for { // one iteration per population vector, in compRank order
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		total := 0
-		for _, v := range pop {
-			total += v
-		}
-		thinking := n - total // row == space.compRank(pop)*pp + ph throughout
-
-		// Rank the destination compositions once per population vector;
-		// they are phase-independent.
-		thinkBase := -1
-		if thinking > 0 {
-			pop[0]++
-			thinkBase = space.compRank(pop) * pp
-			pop[0]--
-		}
-		for i := 0; i < k; i++ {
-			if pop[i] > 0 {
-				pop[i]--
-				if i+1 < k {
-					pop[i+1]++
-				}
-				complBase[i] = space.compRank(pop) * pp
-				if i+1 < k {
-					pop[i+1]--
-				}
-				pop[i]++
-			}
-		}
-
-		for i := range phase {
-			phase[i] = 0
-		}
-		for ph := 0; ph < pp; ph++ {
-			start := len(colIdx)
-			diag = 0
-			// Think completions: a customer submits a request to
-			// station 0. Z = 0 models the instantaneous think stage as a
-			// very fast transition to keep the chain well-formed
-			// (callers should use Z > 0).
-			if thinkBase >= 0 {
-				rate := float64(thinking) * thinkRate
-				if thinkRate == 0 {
-					rate = float64(thinking) * 1e9
-				}
-				emit(thinkBase+ph, rate)
-			}
-			for i := 0; i < k; i++ {
-				mp := maps[i]
-				j := phase[i]
-				if pop[i] > 0 {
-					// Completion: job moves to station i+1, or back to
-					// the think pool from the last station; phase change
-					// without completion stays in this block.
-					phaseBase := ph - j*phaseStride[i]
-					for t := 0; t < phases[i]; t++ {
-						emit(complBase[i]+phaseBase+t*phaseStride[i], mp.D1.At(j, t))
-						if t != j {
-							emit(row+(t-j)*phaseStride[i], mp.D0.At(j, t))
-						}
-					}
-				} else if m.PhasesRunWhileIdle {
-					// Idle station with a free-running environment: the
-					// modulating chain Q = D0+D1 evolves without
-					// completions.
-					for t := 0; t < phases[i]; t++ {
-						if t != j {
-							emit(row+(t-j)*phaseStride[i], mp.D0.At(j, t)+mp.D1.At(j, t))
-						}
-					}
-				}
-			}
-			if diag != 0 {
-				colIdx = append(colIdx, row)
-				vals = append(vals, diag)
-			}
-			// Insertion-sort this row's few entries by column so the CSR
-			// is canonical (NewCSR-equivalent).
-			for a := start + 1; a < len(colIdx); a++ {
-				c, v := colIdx[a], vals[a]
-				b := a
-				for b > start && colIdx[b-1] > c {
-					colIdx[b] = colIdx[b-1]
-					vals[b] = vals[b-1]
-					b--
-				}
-				colIdx[b] = c
-				vals[b] = v
-			}
-			rowPtr[row+1] = len(colIdx)
-			row++
-			// Advance the phase odometer (station k-1 fastest).
-			for i := k - 1; i >= 0; i-- {
-				phase[i]++
-				if phase[i] < phases[i] {
-					break
-				}
-				phase[i] = 0
-			}
-		}
-		if !space.nextComposition(pop) {
-			break
-		}
-	}
-	if row != size {
-		panic(fmt.Sprintf("mapqn: assembled %d rows, state space has %d", row, size))
-	}
-	return matrix.NewCSRFromRows(size, rowPtr, colIdx, vals), space, nil
+	return gen, g.space, nil
 }
 
 // collectMetricsN computes throughput, utilizations and queue lengths

@@ -29,6 +29,18 @@ var parallelMinNNZ = 1 << 15
 // maxSpmvWorkers caps the fan-out.
 const maxSpmvWorkers = 16
 
+// SpMVWorkers returns how many workers a sparse product touching nnz
+// entries should use; 1 means run sequentially. It is exported so
+// matrix-free operators built outside this package (which synthesize
+// rows instead of storing them) partition work exactly like the CSR
+// kernels and stay bit-identical to them.
+func SpMVWorkers(nnz int) int { return spmvWorkers(nnz) }
+
+// RowBlocks splits the rows [0, n) into nearly equal contiguous blocks,
+// returning the block boundaries (len workers+1) — the partition the
+// parallel kernels (and external matrix-free operators) fan out over.
+func RowBlocks(n, workers int) []int { return rowBlocks(n, workers) }
+
 // spmvWorkers returns how many workers an operation on nnz stored
 // entries should use; 1 means run sequentially.
 func spmvWorkers(nnz int) int {

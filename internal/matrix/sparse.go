@@ -115,6 +115,22 @@ func NewCSRFromRows(n int, rowPtr, colIdx []int, vals []float64) *CSR {
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Vals) }
 
+// Dim returns the square dimension.
+func (m *CSR) Dim() int { return m.N }
+
+// ScanTranspose invokes fn once per row of A^T in row order, handing it
+// the row's column indices (ascending) and values as slices valid only
+// for the duration of the call. Gauss-Seidel sweeps over the transposed
+// balance equations through this without materializing A^T per caller;
+// the CSR implementation serves slices of the cached transpose.
+func (m *CSR) ScanTranspose(fn func(row int, cols []int, vals []float64)) {
+	t := m.cachedTranspose()
+	for r := 0; r < t.N; r++ {
+		lo, hi := t.RowPtr[r], t.RowPtr[r+1]
+		fn(r, t.ColIdx[lo:hi], t.Vals[lo:hi])
+	}
+}
+
 // At returns entry (i, j); absent entries are zero.
 func (m *CSR) At(i, j int) float64 {
 	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {

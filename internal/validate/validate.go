@@ -77,6 +77,9 @@ type Report struct {
 	Tiers []TierAccuracy
 	// States is the size of the CTMC the MAP model solved.
 	States int
+	// SolverBackend names the generator representation the MAP solve
+	// used ("csr" or "matrix-free").
+	SolverBackend string
 }
 
 // CrossValidate runs the closed loop at cfg's operating point: simulate
@@ -158,6 +161,7 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 		MAPThroughput: pred.MAP.Throughput,
 		MVAThroughput: pred.MVA.Throughput,
 		States:        pred.MAP.States,
+		SolverBackend: pred.MAP.SolverBackend,
 	}
 	if rr.Throughput.Mean > 0 {
 		rep.MAPError = (pred.MAP.Throughput - rr.Throughput.Mean) / rr.Throughput.Mean

@@ -149,6 +149,7 @@ func runScenario(ctx context.Context, sc Scenario, memo *core.Memo) (*Report, er
 			return nil, err
 		}
 	}
+	rep.RecordSolverFootprint()
 	return rep, nil
 }
 
@@ -522,6 +523,7 @@ func validationPoint(v *ValidationReport) *ValidationPoint {
 		MVAError:      v.MVAError,
 		MAPWithinCI:   v.MAPWithinCI,
 		States:        v.States,
+		SolverBackend: v.SolverBackend,
 		Tiers:         make([]TierValidation, len(v.Tiers)),
 	}
 	for i, t := range v.Tiers {
