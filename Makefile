@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check race xvalidate scenario suite bench benchgate
+.PHONY: check build test vet fmt-check race faults xvalidate scenario suite bench benchgate
 
 check: vet fmt-check build test
 
@@ -30,6 +30,14 @@ test:
 # race-relevant parallelism is covered by the replica and SpMV tests.
 race:
 	$(GO) test -race -short ./...
+
+# faults runs the deterministic fault-injection suite under the race
+# detector: every failure policy (fail-fast, continue, retry-with-
+# backoff, panic recovery) and the solver-degradation paths exercised
+# with errors, panics, and delays injected at each pipeline stage via
+# internal/faultinject.
+faults:
+	$(GO) test -race -run 'TestFault' ./...
 
 # xvalidate is the sim-vs-solver smoke check: a K=3 replicated simulation
 # cross-validated against the exact MAP network within the documented

@@ -16,10 +16,21 @@
 //	burstlab -scenario scenario.json -timeout 2m
 //	burstlab -suite suite.json -out report.jsonl
 //	burstlab -suite suite.json -out report.jsonl -resume -workers 4
+//	burstlab -suite suite.json -out report.jsonl -on-error continue -retries 2
+//	burstlab -suite suite.json -out report.jsonl -cell-timeout 90s
 //
 // Suite runs are resumable: with -resume, cells whose content hash
 // already has a completed row in the -out JSONL file are skipped, so an
-// interrupted sweep picks up where it stopped.
+// interrupted sweep picks up where it stopped. Cells whose latest row
+// failed (a previous -on-error continue run) are re-run, and truncated
+// or corrupt trailing lines are skipped with a warning.
+//
+// Failure handling: -on-error continue records failed cells (stage,
+// class, message) in the JSONL rows instead of aborting the sweep, and
+// the command exits non-zero if any cell failed; -retries bounds
+// retries of transient cell errors; -cell-timeout bounds each cell's
+// wall clock (a deadline expiring during the exact MAP solve degrades
+// that cell to NetworkBounds rather than failing it).
 //
 // Interrupting the run (Ctrl-C / SIGTERM) cancels it cooperatively: the
 // CTMC sweep or simulation in flight stops within one step and the
@@ -55,12 +66,18 @@ func run() error {
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary and progress")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	backend := flag.String("backend", "", "CTMC generator backend: csr or matrix-free (empty = auto-select by state count); overrides the scenario's solver options")
+	onError := flag.String("on-error", "", "with -suite: failure policy, fail-fast or continue (empty = the suite file's setting)")
+	retries := flag.Int("retries", -1, "with -suite: max retries of transient cell errors (-1 = the suite file's setting)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell (or per-scenario) deadline; expiry during the exact MAP solve degrades to NetworkBounds (0 = no limit)")
 	flag.Parse()
 
 	switch burst.SolverBackend(*backend) {
 	case burst.BackendAuto, burst.BackendCSR, burst.BackendMatrixFree:
 	default:
 		return fmt.Errorf("unknown -backend %q (want csr or matrix-free)", *backend)
+	}
+	if !burst.FailurePolicy(*onError).Valid() {
+		return fmt.Errorf("unknown -on-error %q (want fail-fast or continue)", *onError)
 	}
 
 	if (*scenarioPath == "") == (*suitePath == "") {
@@ -76,7 +93,11 @@ func run() error {
 	}
 
 	if *suitePath != "" {
-		return runSuite(ctx, *suitePath, *outPath, *backend, *resume, *workers, *quiet)
+		return runSuite(ctx, suiteOptions{
+			path: *suitePath, outPath: *outPath, backend: *backend,
+			resume: *resume, workers: *workers, quiet: *quiet,
+			onError: *onError, retries: *retries, cellTimeout: *cellTimeout,
+		})
 	}
 
 	sc, err := burst.LoadScenario(*scenarioPath)
@@ -84,6 +105,9 @@ func run() error {
 		return err
 	}
 	applyBackend(&sc, *backend)
+	if *cellTimeout > 0 {
+		sc.Deadline = cellTimeout.Seconds()
+	}
 
 	if !*quiet {
 		sc.OnProgress = func(ev burst.ProgressEvent) {
@@ -132,47 +156,74 @@ func applyBackend(sc *burst.Scenario, backend string) {
 	sc.Planner.Solver.Backend = burst.SolverBackend(backend)
 }
 
+// suiteOptions carries burstlab's suite-mode flags.
+type suiteOptions struct {
+	path, outPath, backend string
+	resume, quiet          bool
+	workers, retries       int
+	onError                string
+	cellTimeout            time.Duration
+}
+
 // runSuite executes a suite file: expand the grid, skip cells already
 // completed in a resumed output, stream finished cells to the JSONL
-// sink, and print an aggregated per-cell table.
-func runSuite(ctx context.Context, path, outPath, backend string, resume bool, workers int, quiet bool) error {
-	suite, err := burst.LoadSuite(path)
+// sink, and print an aggregated per-cell table. It returns an error —
+// after every healthy cell has run and been recorded — when any cell
+// failed under the continue policy, so the exit code reflects failures.
+func runSuite(ctx context.Context, o suiteOptions) error {
+	suite, err := burst.LoadSuite(o.path)
 	if err != nil {
 		return err
 	}
-	applyBackend(&suite.Base, backend)
-	if workers != 0 {
-		suite.Workers = workers
+	applyBackend(&suite.Base, o.backend)
+	if o.workers != 0 {
+		suite.Workers = o.workers
 	}
-	if resume {
-		if outPath == "" {
+	if o.onError != "" {
+		suite.OnError = burst.FailurePolicy(o.onError)
+	}
+	if o.retries >= 0 {
+		suite.Retry.MaxRetries = o.retries
+	}
+	if o.cellTimeout > 0 {
+		suite.Base.Deadline = o.cellTimeout.Seconds()
+	}
+	if o.resume {
+		if o.outPath == "" {
 			return fmt.Errorf("-resume needs -out (the JSONL file holding completed rows)")
 		}
-		skip, err := burst.ReadJSONLHashes(outPath)
+		st, err := burst.ReadJSONLResume(o.outPath)
 		if err != nil {
 			return err
 		}
-		suite.Skip = skip
+		if st.Malformed > 0 {
+			fmt.Fprintf(os.Stderr, "burstlab: warning: %d unparseable line(s) in %s skipped (truncated or corrupt); their cells will re-run\n",
+				st.Malformed, o.outPath)
+		}
+		if len(st.Failed) > 0 {
+			fmt.Fprintf(os.Stderr, "burstlab: %d previously failed cell(s) will re-run\n", len(st.Failed))
+		}
+		suite.Skip = st.Done
 	}
-	if !quiet {
+	if !o.quiet {
 		suite.OnProgress = func(ev burst.SuiteEvent) {
 			fmt.Fprintf(os.Stderr, "burstlab: %-5s [%d/%d] %s\n", ev.Stage, ev.Done, ev.Total, ev.Cell.Name)
 		}
 	}
 	var sinks []burst.ReportSink
 	switch {
-	case outPath == "-":
-		if resume {
+	case o.outPath == "-":
+		if o.resume {
 			return fmt.Errorf("-resume needs a file -out, not stdout")
 		}
 		sinks = append(sinks, burst.NewJSONLSink(os.Stdout))
-	case outPath != "":
+	case o.outPath != "":
 		// A fresh run truncates; -resume appends after the surviving rows.
 		open := burst.OpenJSONLSink
-		if resume {
+		if o.resume {
 			open = burst.AppendJSONLSink
 		}
-		sink, err := open(outPath)
+		sink, err := open(o.outPath)
 		if err != nil {
 			return err
 		}
@@ -184,12 +235,15 @@ func runSuite(ctx context.Context, path, outPath, backend string, resume bool, w
 	if err != nil {
 		return err
 	}
-	if !quiet {
+	if !o.quiet {
 		printSuiteSummary(rep, time.Since(start))
 	}
-	if outPath != "" {
+	if o.outPath != "" {
 		fmt.Fprintf(os.Stderr, "burstlab: %d rows streamed to %s (%d skipped)\n",
-			rep.Cells-rep.Skipped, outPath, rep.Skipped)
+			rep.Cells-rep.Skipped, o.outPath, rep.Skipped)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d cells failed (rows recorded; re-run with -resume to retry them)", rep.Failed, rep.Cells)
 	}
 	return nil
 }
@@ -202,16 +256,34 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 	if name == "" {
 		name = "suite"
 	}
-	fmt.Printf("%s: %d cells (%d skipped) in %.1fs\n", name, rep.Cells, rep.Skipped, elapsed.Seconds())
+	extra := ""
+	if rep.Failed > 0 {
+		extra = fmt.Sprintf(", %d failed", rep.Failed)
+	}
+	fmt.Printf("%s: %d cells (%d skipped%s) in %.1fs\n", name, rep.Cells, rep.Skipped, extra, elapsed.Seconds())
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "cell\tN\tMAP X\tMVA X\tbounds\tsim X\tMAP err")
+	degraded := 0
 	for _, row := range rep.Rows {
 		if row.Skipped {
 			fmt.Fprintf(w, "%s\t(skipped)\t\t\t\t\t\n", cellLabel(row))
 			continue
 		}
+		if row.Error != nil || row.Report == nil {
+			detail := "error"
+			if row.Error != nil {
+				detail = fmt.Sprintf("%s stage, %s: %s", row.Error.Stage, row.Error.Class, row.Error.Message)
+			}
+			fmt.Fprintf(w, "%s\t(FAILED: %s)\t\t\t\t\t\n", cellLabel(row), detail)
+			continue
+		}
+		label := cellLabel(row)
+		if row.Report.Degraded {
+			label += " *"
+			degraded++
+		}
 		for _, r := range row.Report.Results {
-			cols := fmt.Sprintf("%s\t%d", cellLabel(row), r.Population)
+			cols := fmt.Sprintf("%s\t%d", label, r.Population)
 			cols += colF(r.MAP != nil, func() float64 { return r.MAP.Throughput })
 			cols += colF(r.MVA != nil, func() float64 { return r.MVA.Throughput })
 			if r.Bounds != nil {
@@ -229,6 +301,9 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 		}
 	}
 	w.Flush()
+	if degraded > 0 {
+		fmt.Printf("* %d cell(s) degraded: exact MAP solve replaced by NetworkBounds (see fallback_reason in the rows)\n", degraded)
+	}
 	backend, peak := "", 0
 	for _, row := range rep.Rows {
 		if row.Skipped || row.Report == nil {
@@ -286,6 +361,9 @@ func printSummary(rep *burst.Report, elapsed time.Duration) {
 	}
 	fmt.Printf("%s: Z=%.2fs populations=%v solvers=%v (%.1fs)\n",
 		name, sc.ThinkTime, sc.Populations, sc.Solvers, elapsed.Seconds())
+	if rep.Degraded {
+		fmt.Printf("DEGRADED: %s\n", rep.FallbackReason)
+	}
 
 	for _, tier := range rep.Tiers {
 		c := tier.Characterization

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/inference"
@@ -69,8 +70,14 @@ func (m *Memo) Stats() MemoStats {
 
 // do returns the cached value for (family, key), computing it via
 // compute on first use. Concurrent callers of the same key block until
-// the single in-flight computation finishes. Errors are cached like
-// values: the computations are deterministic, so retrying cannot help.
+// the single in-flight computation finishes. Deterministic errors are
+// cached like values — the computations are pure functions of their key,
+// so retrying cannot help — but cancellation-class errors
+// (context.Canceled, context.DeadlineExceeded) are evicted instead of
+// cached: they describe the caller's context, not the key, and caching
+// one would permanently fail every later cell sharing the key. A
+// panicking compute is likewise evicted (waiters get an error, the
+// panic propagates to the computing goroutine's recovery layer).
 func (m *Memo) do(family, key string, compute func() (any, error)) (any, error) {
 	full := family + "\x00" + key
 	m.mu.Lock()
@@ -85,9 +92,28 @@ func (m *Memo) do(family, key string, compute func() (any, error)) (any, error) 
 	m.count(family, false)
 	m.mu.Unlock()
 
+	completed := false
+	defer func() {
+		if !completed { // compute panicked
+			m.evict(full)
+			e.err = errors.New("core: memoized computation panicked")
+			close(e.done)
+		}
+	}()
 	e.val, e.err = compute()
+	completed = true
+	if e.err != nil && IsCancellation(e.err) {
+		m.evict(full)
+	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// evict removes a key so the next lookup recomputes it.
+func (m *Memo) evict(full string) {
+	m.mu.Lock()
+	delete(m.entries, full)
+	m.mu.Unlock()
 }
 
 func (m *Memo) count(family string, hit bool) {

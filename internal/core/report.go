@@ -97,6 +97,14 @@ type ValidationPoint struct {
 	SolverBackend string `json:"solver_backend,omitempty"`
 	// Tiers holds the per-tier utilization comparison.
 	Tiers []TierValidation `json:"tiers"`
+	// Degraded marks a validation whose exact MAP solve failed and was
+	// replaced by NetworkBounds (Bounds); MAPThroughput/MAPUtil are then
+	// zero and MAP errors are not meaningful. FallbackReason explains why.
+	Degraded       bool   `json:"degraded,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Bounds bracket the MAP network's throughput when the exact solve
+	// degraded.
+	Bounds *mapqn.NetworkBoundsResult `json:"bounds,omitempty"`
 }
 
 // PopulationReport carries every requested result at one population
@@ -135,6 +143,14 @@ type Report struct {
 	// PeakStates is the largest CTMC solved across the report's
 	// populations (MAP sweep and cross-validation solves).
 	PeakStates int `json:"peak_states,omitempty"`
+	// Degraded marks a report whose exact MAP solve failed
+	// (non-convergence, state-space limit, or the scenario deadline
+	// expiring mid-solve) and was replaced by NetworkBounds: the Bounds
+	// columns are filled and the MAP columns are absent. Degraded rows
+	// must never be mistaken for exact ones — FallbackReason says why the
+	// exact solve was abandoned.
+	Degraded       bool   `json:"degraded,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
 // RecordSolverFootprint fills SolverBackend and PeakStates from the

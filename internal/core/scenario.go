@@ -137,10 +137,13 @@ type WorkloadSpec struct {
 	KeepSamples bool `json:"keep_samples,omitempty"`
 }
 
-// Progress stage names, as reported in ProgressEvent.Stage.
+// Progress stage names, as reported in ProgressEvent.Stage. The same
+// names identify pipeline stages in fault injection (FaultHook) and in
+// per-cell failure records (CellError.Stage).
 const (
 	StageSimulate     = "simulate"
 	StageCharacterize = "characterize"
+	StageFit          = "fit"
 	StageSolve        = "solve"
 	StageValidate     = "validate"
 	StageBounds       = "bounds"
@@ -196,6 +199,13 @@ type Scenario struct {
 	// (nil for defaults). TierSpec names take precedence over
 	// Planner.TierNames.
 	Planner *PlannerOptions `json:"planner,omitempty"`
+	// Deadline bounds one run of this scenario in seconds (0 = no limit).
+	// In a suite it is the per-cell deadline. When the deadline expires
+	// during the exact MAP solve, the run degrades to NetworkBounds
+	// (Report.Degraded) instead of failing; other stages fail with
+	// context.DeadlineExceeded. The deadline is part of the scenario's
+	// content hash: changing it re-runs resumed cells.
+	Deadline float64 `json:"deadline,omitempty"`
 
 	// OnProgress, when non-nil, observes execution. It is never
 	// serialized.
@@ -262,6 +272,9 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.Populations) == 0 {
 		return errors.New("core: scenario needs at least one population")
+	}
+	if s.Deadline < 0 {
+		return fmt.Errorf("core: scenario deadline %v must be >= 0", s.Deadline)
 	}
 	for _, n := range s.Populations {
 		if n < 1 {

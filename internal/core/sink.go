@@ -10,10 +10,21 @@ import (
 	"sync"
 )
 
+// Cell row statuses, recorded per SuiteRow.
+const (
+	// CellStatusOK marks a cell that ran to completion.
+	CellStatusOK = "ok"
+	// CellStatusFailed marks a cell that errored under the "continue"
+	// failure policy; the row's Error carries stage, class and message.
+	CellStatusFailed = "failed"
+	// CellStatusSkipped marks a cell not executed (resume skip set).
+	CellStatusSkipped = "skipped"
+)
+
 // SuiteRow is one finished cell as streamed to sinks and collected into
 // the SuiteReport: the cell's identity (grid coordinates, content hash)
 // plus its full per-scenario report. Skipped cells (resume) carry no
-// report.
+// report; failed cells (continue policy) carry the failure instead.
 type SuiteRow struct {
 	// Index is the cell's position in deterministic expansion order.
 	Index int `json:"index"`
@@ -26,7 +37,15 @@ type SuiteRow struct {
 	// Skipped marks a cell not executed because its hash was already
 	// present in a resumed output.
 	Skipped bool `json:"skipped,omitempty"`
-	// Report is the cell's full scenario report (nil when skipped).
+	// Status is the row outcome: "ok", "failed" or "skipped". Rows
+	// written before failure policies existed have no status; readers
+	// treat a row with a report as ok.
+	Status string `json:"status,omitempty"`
+	// Error details a failed cell (stage, class, attempts, message);
+	// nil unless Status is "failed".
+	Error *CellFailure `json:"error,omitempty"`
+	// Report is the cell's full scenario report (nil when skipped or
+	// failed).
 	Report *Report `json:"report,omitempty"`
 }
 
@@ -161,43 +180,91 @@ func (s *JSONLSink) Close() error {
 }
 
 // ReadJSONLRows parses a JSONL report file back into rows, in file
-// order. Unparseable trailing garbage (e.g. a line cut short by a kill)
-// is ignored rather than failing the resume.
+// order. Unparseable lines (e.g. a trailing line cut short by a kill,
+// or bytes corrupted on disk) are skipped rather than failing the
+// resume; use ReadJSONLResume when the caller wants to know how many
+// were dropped.
 func ReadJSONLRows(path string) ([]SuiteRow, error) {
+	rows, _, err := readJSONLRows(path)
+	return rows, err
+}
+
+func readJSONLRows(path string) (rows []SuiteRow, malformed int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	var rows []SuiteRow
 	for _, line := range bytes.Split(data, []byte("\n")) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		var row SuiteRow
 		if err := json.Unmarshal(line, &row); err != nil {
+			malformed++
 			continue
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, malformed, nil
 }
 
-// ReadJSONLHashes returns the content hashes of completed (non-skipped)
-// rows in a JSONL report file — the skip set for resuming a suite. A
-// missing file yields an empty set.
-func ReadJSONLHashes(path string) (map[string]bool, error) {
-	rows, err := ReadJSONLRows(path)
+// rowSucceeded reports whether a parsed row represents a completed
+// cell. Rows from before status columns existed carry a report and no
+// status; failed rows carry status "failed" and no report.
+func rowSucceeded(row SuiteRow) bool {
+	if row.Skipped || row.Status == CellStatusFailed {
+		return false
+	}
+	return row.Report != nil
+}
+
+// ResumeState summarizes a JSONL report file for resuming: which cells
+// completed (skip set), which cells' latest attempt failed (re-run
+// candidates under the continue policy), and how many lines could not
+// be parsed (truncated or corrupted — their cells simply re-run).
+type ResumeState struct {
+	// Done holds content hashes of successfully completed cells.
+	Done map[string]bool
+	// Failed holds hashes whose most recent row is a failure with no
+	// later success — the cells a resumed run will retry.
+	Failed map[string]bool
+	// Malformed counts unparseable lines that were skipped.
+	Malformed int
+}
+
+// ReadJSONLResume scans a JSONL report file into a ResumeState. A
+// missing file yields an empty state. A hash that failed in one run and
+// succeeded in a later appended run counts as done, not failed.
+func ReadJSONLResume(path string) (ResumeState, error) {
+	st := ResumeState{Done: map[string]bool{}, Failed: map[string]bool{}}
+	rows, malformed, err := readJSONLRows(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]bool{}, nil
+			return st, nil
 		}
+		return ResumeState{}, err
+	}
+	st.Malformed = malformed
+	for _, row := range rows {
+		switch {
+		case rowSucceeded(row):
+			st.Done[row.Hash] = true
+			delete(st.Failed, row.Hash)
+		case row.Status == CellStatusFailed && !st.Done[row.Hash]:
+			st.Failed[row.Hash] = true
+		}
+	}
+	return st, nil
+}
+
+// ReadJSONLHashes returns the content hashes of completed (non-skipped,
+// non-failed) rows in a JSONL report file — the skip set for resuming a
+// suite. Failed rows are excluded so a resumed run retries them. A
+// missing file yields an empty set.
+func ReadJSONLHashes(path string) (map[string]bool, error) {
+	st, err := ReadJSONLResume(path)
+	if err != nil {
 		return nil, err
 	}
-	done := make(map[string]bool, len(rows))
-	for _, row := range rows {
-		if !row.Skipped && row.Report != nil {
-			done[row.Hash] = true
-		}
-	}
-	return done, nil
+	return st.Done, nil
 }

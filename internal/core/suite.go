@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Suite is a declarative batch of scenarios: a base Scenario plus a Grid
@@ -26,11 +28,24 @@ type Suite struct {
 	Grid Grid `json:"grid,omitempty"`
 	// Workers caps concurrently executing cells (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// OnError selects the failure policy: "" or "fail-fast" cancels the
+	// suite on the first cell error (the historical behavior);
+	// "continue" records failed cells (status, stage, class) and runs
+	// every remaining cell to completion.
+	OnError FailurePolicy `json:"on_error,omitempty"`
+	// Retry bounds per-cell retries of transient errors with
+	// deterministic exponential backoff. The zero value never retries.
+	Retry RetryPolicy `json:"retry,omitempty"`
 
 	// Skip lists content hashes of cells not to execute — typically the
 	// completed rows of a resumed output file (ReadJSONLHashes). Never
 	// serialized.
 	Skip map[string]bool `json:"-"`
+	// Inject, when non-nil, is called before every pipeline stage of
+	// every cell with (cell hash, stage) — the deterministic
+	// fault-injection point the facade's cell runner threads through the
+	// scenario pipeline. Production runs leave it nil. Never serialized.
+	Inject FaultHook `json:"-"`
 	// OnProgress, when non-nil, observes suite execution. Calls are
 	// serialized. Never serialized to JSON.
 	OnProgress SuiteProgressFunc `json:"-"`
@@ -38,7 +53,7 @@ type Suite struct {
 
 // SuiteEvent is one progress notification from a running suite.
 type SuiteEvent struct {
-	// Stage is "start", "done" or "skip".
+	// Stage is "start", "done", "skip" or "fail".
 	Stage string `json:"stage"`
 	// Cell identifies the cell the event belongs to.
 	Cell SuiteCell `json:"-"`
@@ -52,6 +67,7 @@ const (
 	SuiteStageStart = "start"
 	SuiteStageDone  = "done"
 	SuiteStageSkip  = "skip"
+	SuiteStageFail  = "fail"
 )
 
 // SuiteProgressFunc observes suite execution.
@@ -89,6 +105,9 @@ type SuiteReport struct {
 	Cells int `json:"cells"`
 	// Skipped counts cells not executed (resume).
 	Skipped int `json:"skipped,omitempty"`
+	// Failed counts cells that errored under the "continue" failure
+	// policy (their rows carry status "failed" and the error detail).
+	Failed int `json:"failed,omitempty"`
 	// Rows holds every cell's outcome, in expansion order.
 	Rows []SuiteRow `json:"rows"`
 	// Memo reports stage-cache traffic (zero when no memo was used).
@@ -199,16 +218,34 @@ func (s Suite) Expand() ([]SuiteCell, error) {
 // runner over a pool of suite.Workers goroutines. Finished rows stream
 // to the sinks in completion order (Write calls serialized); the
 // returned SuiteReport collects the same rows in expansion order, so it
-// is invariant to worker count. The first cell error cancels the
-// remaining cells and is returned after all in-flight cells drain;
-// sinks are always closed.
+// is invariant to worker count. Sinks are always closed.
+//
+// Failure handling: a panicking cell is recovered into a CellError
+// carrying the stack; transient cell errors are retried up to
+// suite.Retry.MaxRetries times with exponential backoff. Under the
+// default fail-fast policy the first (post-retry) cell error cancels
+// the remaining cells and is returned after all in-flight cells drain.
+// Under the "continue" policy failed cells are recorded — status
+// "failed", stage, class, message — in the report and the streamed
+// rows, and the suite completes with a nil error; callers inspect
+// SuiteReport.Failed. Suite-level cancellation (ctx canceled or timed
+// out) always aborts the run regardless of policy.
 //
 // The facade's RunSuite wraps this with the memoized scenario runner —
 // call this directly only to route custom per-cell computations through
 // the engine.
 func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...ReportSink) (*SuiteReport, error) {
 	if runner == nil {
+		closeSinks(sinks)
 		return nil, errors.New("core: suite runner must not be nil")
+	}
+	if !suite.OnError.Valid() {
+		closeSinks(sinks)
+		return nil, fmt.Errorf("core: unknown failure policy %q (want %q or %q)", suite.OnError, FailFast, FailContinue)
+	}
+	if err := suite.Retry.validate(); err != nil {
+		closeSinks(sinks)
+		return nil, err
 	}
 	cells, err := suite.Expand()
 	if err != nil {
@@ -237,6 +274,9 @@ func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...Repo
 		emitMu.Lock()
 		defer emitMu.Unlock()
 		done++
+		if row.Status == CellStatusFailed {
+			rep.Failed++
+		}
 		var sinkErr error
 		if !row.Skipped {
 			for _, s := range sinks {
@@ -261,7 +301,7 @@ func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...Repo
 	var live []int
 	for i, cell := range cells {
 		if suite.Skip[cell.Hash] {
-			rep.Rows[i] = SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Skipped: true}
+			rep.Rows[i] = SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Skipped: true, Status: CellStatusSkipped}
 			rep.Skipped++
 			if err := emit(rep.Rows[i], SuiteStageSkip, cell); err != nil {
 				fail(err)
@@ -288,12 +328,27 @@ func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...Repo
 					suite.OnProgress(SuiteEvent{Stage: SuiteStageStart, Cell: cell, Done: done, Total: len(cells)})
 					emitMu.Unlock()
 				}
-				cellRep, err := runner(ctx, cell)
+				cellRep, attempts, err := runCell(ctx, suite.Retry, cell, runner)
 				if err != nil {
-					fail(fmt.Errorf("core: suite cell %d (%s): %w", cell.Index, cell.Name, err))
+					// Suite-level cancellation aborts regardless of policy:
+					// the error describes the caller's context, not the cell.
+					if ctx.Err() != nil && IsCancellation(err) {
+						fail(ctx.Err())
+						continue
+					}
+					ce := newCellError(cell, attempts, err)
+					if suite.OnError == FailContinue {
+						row := SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Status: CellStatusFailed, Error: ce.Failure()}
+						rep.Rows[i] = row
+						if serr := emit(row, SuiteStageFail, cell); serr != nil {
+							fail(serr)
+						}
+						continue
+					}
+					fail(fmt.Errorf("core: suite cell %d (%s): %w", cell.Index, cell.Name, ce))
 					continue
 				}
-				row := SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Report: cellRep}
+				row := SuiteRow{Index: cell.Index, Name: cell.Name, Hash: cell.Hash, Axes: cell.Axes, Status: CellStatusOK, Report: cellRep}
 				rep.Rows[i] = row
 				if err := emit(row, SuiteStageDone, cell); err != nil {
 					fail(err)
@@ -314,6 +369,48 @@ func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...Repo
 		return nil, firstErr
 	}
 	return rep, nil
+}
+
+// runCell executes one cell with panic recovery and bounded retries of
+// transient errors. It returns the report, the number of attempts made,
+// and the final error. Cancellation-class errors are returned
+// immediately when the suite context is done — aborting, never retried.
+// Backoff delays are deterministic (attempt-indexed, no jitter) but
+// interruptible by context cancellation.
+func runCell(ctx context.Context, retry RetryPolicy, cell SuiteCell, runner CellRunner) (*Report, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		rep, err := invokeCell(ctx, cell, runner)
+		if err == nil {
+			return rep, attempts, nil
+		}
+		if IsCancellation(err) && ctx.Err() != nil {
+			return nil, attempts, err
+		}
+		if Classify(err) != ClassTransient || attempts > retry.MaxRetries {
+			return nil, attempts, err
+		}
+		timer := time.NewTimer(retry.delay(attempts))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, attempts, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// invokeCell calls the runner, converting a panic into a *panicError so
+// one bad cell cannot take down the worker pool.
+func invokeCell(ctx context.Context, cell SuiteCell, runner CellRunner) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = nil
+			err = &panicError{value: r, stack: string(debug.Stack())}
+		}
+	}()
+	return runner(ctx, cell)
 }
 
 func closeSinks(sinks []ReportSink) error {

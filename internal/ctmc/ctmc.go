@@ -293,7 +293,8 @@ func gaussSeidel(ctx context.Context, st *iterState, opts Options) (Result, erro
 	if math.IsInf(lastRes, 1) {
 		lastRes = st.residual(pi) // MaxIter < 8: no check ever ran
 	}
-	return Result{Pi: pi, Residual: lastRes, Iterations: opts.MaxIter, Method: "gauss-seidel"}, ErrNoConvergence
+	return Result{Pi: pi, Residual: lastRes, Iterations: opts.MaxIter, Method: "gauss-seidel"},
+		fmt.Errorf("%w: gauss-seidel residual %.3g after %d sweeps (tol %.3g)", ErrNoConvergence, lastRes, opts.MaxIter, opts.Tol*scale)
 }
 
 // powerIteration iterates x <- x*P with P = I + Q/Lambda (uniformization).
@@ -336,7 +337,8 @@ func powerIteration(ctx context.Context, st *iterState, opts Options) (Result, e
 		}
 	}
 	r := st.residual(pi)
-	return Result{Pi: pi, Iterations: opts.MaxIter, Residual: r, Method: "power"}, ErrNoConvergence
+	return Result{Pi: pi, Iterations: opts.MaxIter, Residual: r, Method: "power"},
+		fmt.Errorf("%w: power-iteration residual %.3g after %d iterations (tol %.3g)", ErrNoConvergence, r, opts.MaxIter, opts.Tol*lambda)
 }
 
 func normalize(pi []float64) {

@@ -1,0 +1,163 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the suite engine. A Plan holds a list of Faults, each keyed by a cell
+// content hash and a pipeline stage; Hook adapts the plan to the
+// engine's (cellHash, stage) callback. Because cells are addressed by
+// content hash and each fault counts its own firings per cell, an
+// injection plan is reproducible under any worker count and scheduling
+// order — the property the failure-policy tests rely on.
+//
+// The package is intentionally independent of internal/core: injected
+// errors advertise transience through the Transient() bool interface
+// the engine classifies with errors.As, so no import cycle can form.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault kinds.
+const (
+	// KindError makes the hook return an error at the matched stage.
+	KindError = "error"
+	// KindPanic makes the hook panic at the matched stage, exercising
+	// the engine's panic recovery.
+	KindPanic = "panic"
+	// KindDelay makes the hook sleep before letting the stage proceed,
+	// exercising per-cell deadlines.
+	KindDelay = "delay"
+)
+
+// Fault is one injection rule.
+type Fault struct {
+	// Key is the cell content hash the fault targets; empty matches
+	// every cell.
+	Key string
+	// Stage is the pipeline stage to fire at ("characterize", "fit",
+	// "solve", "simulate", ...); empty matches every stage.
+	Stage string
+	// Kind selects the fault: KindError, KindPanic or KindDelay.
+	Kind string
+	// Times bounds how many firings the fault performs per matching
+	// cell (0 = unlimited). A Times=2 error fault with retries
+	// configured fails twice and then lets the cell succeed.
+	Times int
+	// Transient marks injected errors as retryable.
+	Transient bool
+	// Delay is the sleep duration for KindDelay.
+	Delay time.Duration
+	// Message overrides the default error/panic text.
+	Message string
+}
+
+// Plan is a set of faults with per-(fault, cell) firing counters. The
+// zero value is usable; methods are safe for concurrent use.
+type Plan struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  map[string]int // (fault index, cell key) -> firings
+}
+
+// NewPlan returns a plan containing the given faults.
+func NewPlan(faults ...Fault) *Plan {
+	return &Plan{faults: faults}
+}
+
+// Add appends a fault to the plan.
+func (p *Plan) Add(f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = append(p.faults, f)
+}
+
+// Fired returns the total number of firings across all faults.
+func (p *Plan) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.fired {
+		n += c
+	}
+	return n
+}
+
+// Error is an injected failure. It reports its configured transience
+// through the Transient() bool interface the engine's classifier
+// checks.
+type Error struct {
+	Key       string
+	Stage     string
+	Msg       string
+	Retryable bool
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("faultinject: injected error at stage %q (cell %.12s)", e.Stage, e.Key)
+}
+
+// Transient reports whether the injected error was marked retryable.
+func (e *Error) Transient() bool { return e.Retryable }
+
+// Hook returns the (cellHash, stage) callback to install as
+// Suite.Inject. For each matching fault whose Times budget for the cell
+// is not exhausted, the hook fires it: KindDelay sleeps and falls
+// through to later faults, KindPanic panics, KindError returns the
+// injected error. At most one error per call is returned (the first
+// matching, in plan order).
+func (p *Plan) Hook() func(cellHash, stage string) error {
+	return func(cellHash, stage string) error {
+		p.mu.Lock()
+		var (
+			sleep time.Duration
+			doErr *Error
+			pan   *Error
+		)
+		for i, f := range p.faults {
+			if f.Key != "" && f.Key != cellHash {
+				continue
+			}
+			if f.Stage != "" && f.Stage != stage {
+				continue
+			}
+			counter := fmt.Sprintf("%d\x00%s", i, cellHash)
+			if f.Times > 0 && p.fired != nil && p.fired[counter] >= f.Times {
+				continue
+			}
+			if p.fired == nil {
+				p.fired = make(map[string]int)
+			}
+			p.fired[counter]++
+			switch f.Kind {
+			case KindDelay:
+				if f.Delay > sleep {
+					sleep = f.Delay
+				}
+			case KindPanic:
+				if pan == nil {
+					pan = &Error{Key: cellHash, Stage: stage, Msg: f.Message}
+				}
+			default: // KindError
+				if doErr == nil {
+					doErr = &Error{Key: cellHash, Stage: stage, Msg: f.Message, Retryable: f.Transient}
+				}
+			}
+		}
+		p.mu.Unlock()
+
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if pan != nil {
+			panic(fmt.Sprintf("faultinject: injected panic at stage %q (cell %.12s): %s", pan.Stage, pan.Key, pan.Error()))
+		}
+		if doErr != nil {
+			return doErr
+		}
+		return nil
+	}
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultHookMatchesKeyAndStage(t *testing.T) {
+	p := NewPlan(Fault{Key: "cell-a", Stage: "solve", Kind: KindError})
+	hook := p.Hook()
+	if err := hook("cell-b", "solve"); err != nil {
+		t.Fatalf("wrong cell fired: %v", err)
+	}
+	if err := hook("cell-a", "fit"); err != nil {
+		t.Fatalf("wrong stage fired: %v", err)
+	}
+	err := hook("cell-a", "solve")
+	if err == nil {
+		t.Fatal("matching (key, stage) did not fire")
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Stage != "solve" || ie.Key != "cell-a" {
+		t.Fatalf("injected error = %#v", err)
+	}
+	if ie.Transient() {
+		t.Fatal("unmarked fault should not be transient")
+	}
+	if !strings.Contains(err.Error(), "injected error") {
+		t.Fatalf("message = %q", err)
+	}
+}
+
+func TestFaultHookTransientAndMessage(t *testing.T) {
+	p := NewPlan(Fault{Stage: "fit", Kind: KindError, Transient: true, Message: "custom text"})
+	err := p.Hook()("any-cell", "fit")
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("transient fault not classifiable: %v", err)
+	}
+	if err.Error() != "custom text" {
+		t.Fatalf("message = %q", err)
+	}
+}
+
+func TestFaultHookTimesBudgetPerCell(t *testing.T) {
+	p := NewPlan(Fault{Stage: "solve", Kind: KindError, Times: 2})
+	hook := p.Hook()
+	// Two firings for cell A, then it passes; cell B has its own budget.
+	for i := 0; i < 2; i++ {
+		if hook("a", "solve") == nil {
+			t.Fatalf("firing %d for cell a missing", i)
+		}
+	}
+	if err := hook("a", "solve"); err != nil {
+		t.Fatalf("budget spent but still firing: %v", err)
+	}
+	if hook("b", "solve") == nil {
+		t.Fatal("cell b should have an independent budget")
+	}
+	if got := p.Fired(); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestFaultHookPanics(t *testing.T) {
+	p := NewPlan(Fault{Kind: KindPanic, Stage: "characterize"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if !strings.Contains(r.(string), "injected panic") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	p.Hook()("cell", "characterize")
+}
+
+func TestFaultHookDelay(t *testing.T) {
+	p := NewPlan(Fault{Kind: KindDelay, Stage: "solve", Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := p.Hook()("cell", "solve"); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+}
+
+// TestFaultHookConcurrentDeterminism checks that per-(fault, cell)
+// budgets hold under concurrent hook calls: exactly Times firings per
+// cell regardless of interleaving.
+func TestFaultHookConcurrentDeterminism(t *testing.T) {
+	p := NewPlan(Fault{Stage: "solve", Kind: KindError, Times: 1})
+	hook := p.Hook()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := map[string]int{}
+	for i := 0; i < 8; i++ {
+		for _, cell := range []string{"a", "b"} {
+			wg.Add(1)
+			go func(cell string) {
+				defer wg.Done()
+				if hook(cell, "solve") != nil {
+					mu.Lock()
+					fired[cell]++
+					mu.Unlock()
+				}
+			}(cell)
+		}
+	}
+	wg.Wait()
+	if fired["a"] != 1 || fired["b"] != 1 {
+		t.Fatalf("firings = %v, want exactly 1 per cell", fired)
+	}
+}

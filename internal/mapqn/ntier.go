@@ -345,9 +345,15 @@ func resolveBackend(opts ctmc.Options, size int) (ctmc.Backend, int, error) {
 	return backend, limit, nil
 }
 
+// ErrStateLimit marks solves refused because the model's state space
+// exceeds the backend's budget (or overflows int). Callers can detect it
+// with errors.Is and degrade to NetworkBounds, which costs O(N*K)
+// regardless of the state count.
+var ErrStateLimit = errors.New("state space over solver limit")
+
 // errStateOverflow reports a state count that does not fit in an int.
 func errStateOverflow(k, n int) error {
-	return fmt.Errorf("mapqn: state space of %d stations at N=%d overflows int; use NetworkBounds", k, n)
+	return fmt.Errorf("mapqn: state space of %d stations at N=%d overflows int; use NetworkBounds: %w", k, n, ErrStateLimit)
 }
 
 // errStateLimit reports a state count over the backend's budget, naming
@@ -357,8 +363,8 @@ func errStateLimit(k, n, size, limit int, backend ctmc.Backend) error {
 	if backend == ctmc.BackendMatrixFree {
 		hint = "raise ctmc.Options.MaxStates or fall back to NetworkBounds"
 	}
-	return fmt.Errorf("mapqn: state space of %d stations at N=%d has %d states, over the %s backend limit %d; %s",
-		k, n, size, backend, limit, hint)
+	return fmt.Errorf("mapqn: state space of %d stations at N=%d has %d states, over the %s backend limit %d; %s: %w",
+		k, n, size, backend, limit, hint, ErrStateLimit)
 }
 
 // SolveNetwork builds and solves the K-station CTMC exactly, returning

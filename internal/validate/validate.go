@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inference"
+	"repro/internal/mapqn"
+	"repro/internal/mva"
 	"repro/internal/stats"
 	"repro/internal/tpcw"
 )
@@ -80,6 +82,18 @@ type Report struct {
 	// SolverBackend names the generator representation the MAP solve
 	// used ("csr" or "matrix-free").
 	SolverBackend string
+
+	// Degraded marks a validation whose exact MAP solve failed
+	// (non-convergence or state-space limit) and was replaced by
+	// NetworkBounds: MAPThroughput and the per-tier MAPUtil columns are
+	// zero and the MAP errors are not meaningful — Bounds brackets the
+	// throughput instead. FallbackReason says why the exact solve was
+	// abandoned.
+	Degraded       bool
+	FallbackReason string
+	// Bounds bracket the MAP network's throughput at EBs when the exact
+	// solve degraded.
+	Bounds *mapqn.NetworkBoundsResult
 }
 
 // CrossValidate runs the closed loop at cfg's operating point: simulate
@@ -149,6 +163,9 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if reason, ok := core.SolveFallbackReason(err); ok {
+			return degraded(cfg, rr, z, plan, chars, reason)
+		}
 		return nil, fmt.Errorf("validate: model solve: %w", err)
 	}
 	pred := preds[0]
@@ -178,6 +195,47 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 			Characterization: chars[i],
 		}
 		ta.MAPError = ta.MAPUtil - ta.SimUtil.Mean
+		ta.MVAError = ta.MVAUtil - ta.SimUtil.Mean
+		rep.Tiers[i] = ta
+	}
+	return rep, nil
+}
+
+// degraded builds the fallback report when the exact MAP solve cannot
+// complete: NetworkBounds bracket the throughput the exact solver would
+// have produced and the MVA baseline fills the product-form column, so
+// a cross-validation row still carries usable model output instead of
+// failing the cell.
+func degraded(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.PlanN, chars []inference.Characterization, reason string) (*Report, error) {
+	bounds, err := plan.Bounds([]int{cfg.EBs})
+	if err != nil {
+		return nil, fmt.Errorf("validate: bounds fallback: %w", err)
+	}
+	mvaRes, err := mva.Solve(plan.Baseline(), cfg.EBs)
+	if err != nil {
+		return nil, fmt.Errorf("validate: MVA fallback: %w", err)
+	}
+	rep := &Report{
+		EBs:            cfg.EBs,
+		ThinkTime:      z,
+		Replicas:       len(rr.Results),
+		SimThroughput:  rr.Throughput,
+		MVAThroughput:  mvaRes.Throughput,
+		Degraded:       true,
+		FallbackReason: reason,
+		Bounds:         &bounds[0],
+	}
+	if rr.Throughput.Mean > 0 {
+		rep.MVAError = (mvaRes.Throughput - rr.Throughput.Mean) / rr.Throughput.Mean
+	}
+	rep.Tiers = make([]TierAccuracy, len(rr.TierNames))
+	for i, name := range rr.TierNames {
+		ta := TierAccuracy{
+			Name:             name,
+			SimUtil:          rr.AvgUtil[i],
+			MVAUtil:          mvaRes.Utilizations[i],
+			Characterization: chars[i],
+		}
 		ta.MVAError = ta.MVAUtil - ta.SimUtil.Mean
 		rep.Tiers[i] = ta
 	}

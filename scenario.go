@@ -2,8 +2,10 @@ package burst
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ctmc"
@@ -67,10 +69,13 @@ const (
 // WorkloadSpec (and in the legacy TPCWConfig fields).
 const ZeroWindow = tpcw.ZeroWindow
 
-// Progress stage names, as reported in ProgressEvent.Stage.
+// Progress stage names, as reported in ProgressEvent.Stage. The same
+// names identify pipeline stages in fault-injection hooks (FaultHook)
+// and failed-cell records (CellFailure.Stage).
 const (
 	StageSimulate     = core.StageSimulate
 	StageCharacterize = core.StageCharacterize
+	StageFit          = core.StageFit
 	StageSolve        = core.StageSolve
 	StageValidate     = core.StageValidate
 	StageBounds       = core.StageBounds
@@ -121,18 +126,58 @@ func (p *progressEmitter) emit(ev ProgressEvent) {
 // cancellation; sc.OnProgress (when set) observes replica completions and
 // per-population solves.
 func Run(ctx context.Context, sc Scenario) (*Report, error) {
-	return runScenario(ctx, sc, nil)
+	return runScenario(ctx, sc, nil, nil)
+}
+
+// stageInjector is the per-cell fault-injection point: the suite runner
+// binds Suite.Inject to one cell's content hash and threads the result
+// through the pipeline, which calls it at the entry of every stage.
+// Nil (every production Run) means no injection.
+type stageInjector func(stage string) error
+
+// fire invokes the injector for a stage, tagging any injected error
+// with the stage so failed-cell records attribute it correctly.
+func fire(inj stageInjector, stage string) error {
+	if inj == nil {
+		return nil
+	}
+	return core.MarkStage(inj(stage), stage)
+}
+
+// memoRetry runs a memoized stage call, retrying it once when it
+// returns a stale cancellation: a concurrent cell sharing the memo key
+// may have had its per-cell deadline expire mid-compute, failing every
+// waiter with an error that describes the sibling's context, not ours.
+// The memo evicts cancellation-class results, so the retry recomputes
+// under this cell's own context.
+func memoRetry[T any](ctx context.Context, call func() (T, error)) (T, error) {
+	v, err := call()
+	if err != nil && core.IsCancellation(err) && ctx.Err() == nil {
+		return call()
+	}
+	return v, err
 }
 
 // runScenario executes one scenario, optionally sharing a suite-level
-// stage memo (nil runs every stage cold). The memoized stages —
-// characterize, fit, and the MAP-network sweep — are deterministic pure
-// functions of their inputs, so a memo hit produces a report
-// bit-identical to a cold run (pinned by test).
-func runScenario(ctx context.Context, sc Scenario, memo *core.Memo) (*Report, error) {
+// stage memo (nil runs every stage cold) and a per-cell fault injector
+// (nil injects nothing). The memoized stages — characterize, fit, and
+// the MAP-network sweep — are deterministic pure functions of their
+// inputs, so a memo hit produces a report bit-identical to a cold run
+// (pinned by test).
+//
+// A positive sc.Deadline bounds the cell's wall-clock run; the parent
+// context is kept so a deadline expiry mid-solve (degrade to bounds)
+// can be told apart from a suite-level cancellation (abort).
+func runScenario(ctx context.Context, sc Scenario, memo *core.Memo, inj stageInjector) (*Report, error) {
 	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	parent := ctx
+	if sc.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(sc.Deadline*float64(time.Second)))
+		defer cancel()
 	}
 	rep := &Report{Scenario: sc, Results: make([]PopulationReport, len(sc.Populations))}
 	for i, n := range sc.Populations {
@@ -140,12 +185,12 @@ func runScenario(ctx context.Context, sc Scenario, memo *core.Memo) (*Report, er
 	}
 	prog := &progressEmitter{fn: sc.OnProgress}
 	if sc.WantsModel() {
-		if err := runModelSolvers(ctx, sc, rep, prog, memo); err != nil {
+		if err := runModelSolvers(ctx, parent, sc, rep, prog, memo, inj); err != nil {
 			return nil, err
 		}
 	}
 	if sc.WantsSimulation() {
-		if err := runSimulationSolvers(ctx, sc, rep, prog); err != nil {
+		if err := runSimulationSolvers(ctx, sc, rep, prog, inj); err != nil {
 			return nil, err
 		}
 	}
@@ -232,10 +277,22 @@ func characterizeTiers(sc Scenario, prog *progressEmitter, memo *core.Memo) ([]C
 // per-tier MAP(2) fits and the whole MAP-network population sweep are
 // served from the suite-level stage cache when an identical model was
 // already evaluated by another cell.
-func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter, memo *core.Memo) error {
-	chars, err := characterizeTiers(sc, prog, memo)
-	if err != nil {
+//
+// When the exact MAP sweep fails for a reason NetworkBounds can still
+// bracket — non-convergence, a state space over the backend limit, or
+// the scenario's own deadline expiring mid-solve while the parent
+// context is alive — the report degrades instead of erroring:
+// rep.Degraded is set, FallbackReason says why, the Bounds columns are
+// filled, and the MVA baseline still runs when requested.
+func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog *progressEmitter, memo *core.Memo, inj stageInjector) error {
+	if err := fire(inj, StageCharacterize); err != nil {
 		return err
+	}
+	chars, err := memoRetry(ctx, func() ([]Characterization, error) {
+		return characterizeTiers(sc, prog, memo)
+	})
+	if err != nil {
+		return core.MarkStage(err, StageCharacterize)
 	}
 	names, err := resolveTierNames(sc)
 	if err != nil {
@@ -247,33 +304,65 @@ func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progre
 
 	needFit := sc.Wants(SolverMAP) || sc.Wants(SolverBounds)
 	if needFit {
-		plan, err := buildPlanMemo(chars, names, sc, popts, memo)
-		if err != nil {
+		if err := fire(inj, StageFit); err != nil {
 			return err
 		}
+		plan, err := memoRetry(ctx, func() (*PlanN, error) {
+			return buildPlanMemo(chars, names, sc, popts, memo)
+		})
+		if err != nil {
+			return core.MarkStage(err, StageFit)
+		}
 		rep.Tiers = tierReports(plan)
+		boundsDone := false
 		if sc.Wants(SolverMAP) {
-			preds, err := solveSweepMemo(ctx, plan, sc, prog, memo)
-			if err != nil {
+			if err := fire(inj, StageSolve); err != nil {
 				return err
 			}
-			for i := range preds {
-				p := preds[i]
-				rep.Results[i].MAP = &p.MAP
+			preds, err := memoRetry(ctx, func() ([]core.PredictionN, error) {
+				return solveSweepMemo(ctx, plan, sc, prog, memo)
+			})
+			switch {
+			case err == nil:
+				for i := range preds {
+					p := preds[i]
+					rep.Results[i].MAP = &p.MAP
+					if sc.Wants(SolverMVA) {
+						m := p.MVA
+						rep.Results[i].MVA = &m
+					}
+				}
+			default:
+				reason, ok := degradeReason(parent, err)
+				if !ok {
+					return core.MarkStage(err, StageSolve)
+				}
+				rep.Degraded = true
+				rep.FallbackReason = reason
+				bounds, berr := plan.Bounds(sc.Populations)
+				if berr != nil {
+					return core.MarkStage(fmt.Errorf("burst: bounds fallback: %w", berr), StageBounds)
+				}
+				for i := range bounds {
+					b := bounds[i]
+					rep.Results[i].Bounds = &b
+				}
+				boundsDone = true
 				if sc.Wants(SolverMVA) {
-					m := p.MVA
-					rep.Results[i].MVA = &m
+					if err := solveMVA(plan.Baseline(), sc.Populations, rep); err != nil {
+						return core.MarkStage(err, StageSolve)
+					}
 				}
 			}
 		} else if sc.Wants(SolverMVA) {
 			if err := solveMVA(plan.Baseline(), sc.Populations, rep); err != nil {
-				return err
+				return core.MarkStage(err, StageSolve)
 			}
 		}
-		if sc.Wants(SolverBounds) {
+		if sc.Wants(SolverBounds) && !boundsDone {
 			bounds, err := plan.Bounds(sc.Populations)
 			if err != nil {
-				return err
+				return core.MarkStage(err, StageBounds)
 			}
 			for i := range bounds {
 				b := bounds[i]
@@ -296,6 +385,21 @@ func runModelSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progre
 		rep.Tiers[i] = TierReport{Name: names[i], Characterization: c, Demand: demands[i]}
 	}
 	return solveMVA(mva.ModelN(demands, names, sc.ThinkTime), sc.Populations, rep)
+}
+
+// degradeReason decides whether a failed exact MAP sweep can degrade to
+// NetworkBounds instead of failing the scenario: deterministic solver
+// reasons (non-convergence, state-space limit) always qualify; a
+// deadline expiry qualifies only when the parent context is still alive
+// — i.e. the cell's own Scenario.Deadline ran out, not the suite.
+func degradeReason(parent context.Context, err error) (string, bool) {
+	if reason, ok := core.SolveFallbackReason(err); ok {
+		return reason, true
+	}
+	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		return "scenario deadline expired during the exact MAP solve; NetworkBounds reported instead", true
+	}
+	return "", false
 }
 
 // solveMVA fills the per-population MVA column.
@@ -441,10 +545,15 @@ func mixByName(name string) (TPCWMix, error) {
 }
 
 // runSimulationSolvers executes the simulation-backed solvers (sim,
-// crossvalidate) at every population.
-func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter) error {
+// crossvalidate) at every population. A cross-validation whose exact
+// MAP solve degraded (validate falls back to NetworkBounds) marks the
+// whole report degraded.
+func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *progressEmitter, inj stageInjector) error {
 	cfg, err := simConfig(sc)
 	if err != nil {
+		return err
+	}
+	if err := fire(inj, StageSimulate); err != nil {
 		return err
 	}
 	wl := sc.Workload
@@ -459,18 +568,28 @@ func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *p
 			prog.emit(ProgressEvent{Stage: core.StageSimulate, Population: pop, Step: done, Total: total})
 		})
 		if err != nil {
-			return err
+			return core.MarkStage(err, StageSimulate)
 		}
 		rep.Results[i].Sim = simPoint(rr, wl.KeepSamples)
 		if sc.Wants(SolverCrossValidate) {
+			if err := fire(inj, StageValidate); err != nil {
+				return err
+			}
 			vrep, err := validate.CrossValidateReplicasCtx(ctx, rr, validate.Options{
 				Workers: wl.Workers,
 				Planner: plannerOptions(sc),
 			})
 			if err != nil {
-				return err
+				return core.MarkStage(err, StageValidate)
 			}
-			rep.Results[i].Validation = validationPoint(vrep)
+			vp := validationPoint(vrep)
+			rep.Results[i].Validation = vp
+			if vp.Degraded {
+				rep.Degraded = true
+				if rep.FallbackReason == "" {
+					rep.FallbackReason = vp.FallbackReason
+				}
+			}
 			prog.emit(ProgressEvent{Stage: core.StageValidate, Population: pop, Step: i + 1, Total: len(sc.Populations)})
 		}
 	}
@@ -516,15 +635,18 @@ func simPoint(rr *TPCWReplicaResult, keepSamples bool) *SimPoint {
 // delta column.
 func validationPoint(v *ValidationReport) *ValidationPoint {
 	vp := &ValidationPoint{
-		SimThroughput: v.SimThroughput,
-		MAPThroughput: v.MAPThroughput,
-		MVAThroughput: v.MVAThroughput,
-		MAPError:      v.MAPError,
-		MVAError:      v.MVAError,
-		MAPWithinCI:   v.MAPWithinCI,
-		States:        v.States,
-		SolverBackend: v.SolverBackend,
-		Tiers:         make([]TierValidation, len(v.Tiers)),
+		SimThroughput:  v.SimThroughput,
+		MAPThroughput:  v.MAPThroughput,
+		MVAThroughput:  v.MVAThroughput,
+		MAPError:       v.MAPError,
+		MVAError:       v.MVAError,
+		MAPWithinCI:    v.MAPWithinCI,
+		States:         v.States,
+		SolverBackend:  v.SolverBackend,
+		Degraded:       v.Degraded,
+		FallbackReason: v.FallbackReason,
+		Bounds:         v.Bounds,
+		Tiers:          make([]TierValidation, len(v.Tiers)),
 	}
 	for i, t := range v.Tiers {
 		vp.Tiers[i] = TierValidation{

@@ -44,6 +44,21 @@ type (
 	MemoStats = core.MemoStats
 	// CellRunner executes one expanded cell (see core.RunSuite).
 	CellRunner = core.CellRunner
+
+	// FailurePolicy selects how a suite reacts to a failing cell.
+	FailurePolicy = core.FailurePolicy
+	// RetryPolicy bounds per-cell retries of transient errors.
+	RetryPolicy = core.RetryPolicy
+	// ErrorClass is the transient-vs-permanent bucket of a cell error.
+	ErrorClass = core.ErrorClass
+	// CellError is a typed per-cell failure (cell, stage, class, cause).
+	CellError = core.CellError
+	// CellFailure is the serialized face of a CellError on failed rows.
+	CellFailure = core.CellFailure
+	// FaultHook is the deterministic fault-injection point (Suite.Inject).
+	FaultHook = core.FaultHook
+	// ResumeState summarizes a JSONL report file for resuming.
+	ResumeState = core.ResumeState
 )
 
 // Suite progress stages, as reported in SuiteEvent.Stage.
@@ -51,7 +66,37 @@ const (
 	SuiteStageStart = core.SuiteStageStart
 	SuiteStageDone  = core.SuiteStageDone
 	SuiteStageSkip  = core.SuiteStageSkip
+	SuiteStageFail  = core.SuiteStageFail
 )
+
+// Failure policies for Suite.OnError.
+const (
+	// FailFast cancels the suite on the first cell error (the default).
+	FailFast = core.FailFast
+	// FailContinue records failed cells and completes the suite.
+	FailContinue = core.FailContinue
+)
+
+// Error classes for CellFailure.Class.
+const (
+	ClassTransient = core.ClassTransient
+	ClassPermanent = core.ClassPermanent
+)
+
+// Cell row statuses, as recorded in SuiteRow.Status.
+const (
+	CellStatusOK      = core.CellStatusOK
+	CellStatusFailed  = core.CellStatusFailed
+	CellStatusSkipped = core.CellStatusSkipped
+)
+
+// MarkTransient wraps an error as transient so the suite engine retries
+// it within the retry budget.
+func MarkTransient(err error) error { return core.MarkTransient(err) }
+
+// Classify buckets an error for retry decisions: transient when any
+// error in the chain implements `Transient() bool` true.
+func Classify(err error) ErrorClass { return core.Classify(err) }
 
 // ParseSuite decodes a Suite from JSON, rejecting unknown fields.
 func ParseSuite(data []byte) (Suite, error) { return core.ParseSuite(data) }
@@ -74,8 +119,14 @@ func OpenJSONLSink(path string) (*JSONLSink, error) { return core.OpenJSONLSink(
 func AppendJSONLSink(path string) (*JSONLSink, error) { return core.AppendJSONLSink(path) }
 
 // ReadJSONLHashes returns the content hashes of completed rows in a
-// JSONL report file — the skip set for resuming a suite.
+// JSONL report file — the skip set for resuming a suite. Failed rows
+// are excluded so a resumed run retries them.
 func ReadJSONLHashes(path string) (map[string]bool, error) { return core.ReadJSONLHashes(path) }
+
+// ReadJSONLResume scans a JSONL report file into a ResumeState: done
+// hashes (skip set), failed hashes a resumed run will retry, and the
+// count of unparseable (truncated or corrupt) lines.
+func ReadJSONLResume(path string) (ResumeState, error) { return core.ReadJSONLResume(path) }
 
 // RunSuite expands the suite's grid and runs every cell through the
 // scenario pipeline (Run) over a pool of suite.Workers goroutines,
@@ -88,8 +139,14 @@ func ReadJSONLHashes(path string) (map[string]bool, error) { return core.ReadJSO
 //
 // Finished cells stream to the sinks as they complete; cells whose hash
 // appears in suite.Skip are marked skipped without executing (resume).
-// The first cell error cancels the rest and is returned after in-flight
-// cells drain. Sinks are closed before RunSuite returns.
+// Under the default fail-fast policy the first cell error cancels the
+// rest and is returned after in-flight cells drain; with
+// suite.OnError = FailContinue failed cells are recorded (status,
+// stage, class) and every remaining cell still runs. Transient cell
+// errors retry within suite.Retry's budget, panicking cells are
+// recovered into recorded failures, and suite.Inject (when set) is
+// called before every pipeline stage of every cell — the deterministic
+// fault-injection point. Sinks are closed before RunSuite returns.
 func RunSuite(ctx context.Context, suite Suite, sinks ...ReportSink) (*SuiteReport, error) {
 	memo := core.NewMemo()
 	// Cells inherit the base scenario's OnProgress; concurrent cells
@@ -104,7 +161,12 @@ func RunSuite(ctx context.Context, suite Suite, sinks ...ReportSink) (*SuiteRepo
 				fn(ev)
 			}
 		}
-		return runScenario(ctx, sc, memo)
+		var inj stageInjector
+		if hook := suite.Inject; hook != nil {
+			hash := cell.Hash
+			inj = func(stage string) error { return hook(hash, stage) }
+		}
+		return runScenario(ctx, sc, memo, inj)
 	}, sinks...)
 	if err != nil {
 		return nil, err
