@@ -57,15 +57,16 @@ scenario:
 suite:
 	$(GO) run ./cmd/burstlab -suite examples/suite/suite.json
 
-# bench runs the CTMC solver benchmarks — the end-to-end K=2/K=3/K=4
+# bench runs the solver benchmarks — the end-to-end K=2/K=3/K=4 CTMC
 # solves, the warm/cold population sweep, the suite-engine batch run,
-# and the generator microbenches (assembly strategies, CSR vs
-# matrix-free backends) — and archives the numbers (ns/op, states, nnz,
-# allocs, throughput) as JSON. -benchtime=1x because each solve takes
+# the multiclass MVA solvers (exact lattice and Schweitzer/Bard), and
+# the generator microbenches (assembly strategies, CSR vs matrix-free
+# backends) — and archives the numbers (ns/op, states, nnz, allocs,
+# throughput) as JSON. -benchtime=1x because each solve takes
 # seconds and a single iteration is already deterministic enough for a
 # trajectory.
 bench:
-	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite|MulticlassMVA' -benchmem -benchtime=1x . > .bench_root.txt
 	$(GO) test -run=NONE -bench='GeneratorAssembly|GeneratorBackends' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
 	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > BENCH_solver.json
 	rm -f .bench_root.txt .bench_mapqn.txt
@@ -76,7 +77,7 @@ bench:
 # than 25% against the committed BENCH_solver.json. CI runs this on
 # every push; run it locally before optimization PRs.
 benchgate:
-	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite|MulticlassMVA' -benchmem -benchtime=1x . > .bench_root.txt
 	$(GO) test -run=NONE -bench='GeneratorAssembly|GeneratorBackends' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
 	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > .bench_fresh.json
 	rm -f .bench_root.txt .bench_mapqn.txt

@@ -169,6 +169,57 @@ func BenchmarkRunSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkMulticlassMVA tracks the cost of the multiclass MVA solvers
+// that back per-class what-if predictions: exact walks the full
+// population lattice (its cost is the lattice size, here (N/2+1)^2 per
+// solve at the paper's two-tier shape plus a three-class variant), approx
+// runs the Schweitzer/Bard fixed point at a population far beyond any
+// tractable lattice. The reported X is the aggregate throughput, a
+// correctness canary alongside the timing.
+func BenchmarkMulticlassMVA(b *testing.B) {
+	two := MultiNetwork{
+		Demands:    [][]float64{{0.004, 0.005}, {0.009, 0.03}},
+		ThinkTimes: []float64{0.5, 0.5},
+	}
+	three := MultiNetwork{
+		Demands:    [][]float64{{0.004, 0.005}, {0.009, 0.03}, {0.002, 0.012}},
+		ThinkTimes: []float64{0.5, 0.5, 0.5},
+	}
+	b.Run("exact/C=2/N=100", func(b *testing.B) {
+		var x float64
+		for i := 0; i < b.N; i++ {
+			res, err := SolveMulticlass(two, []int{50, 50})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x = res.Throughput[0] + res.Throughput[1]
+		}
+		b.ReportMetric(x, "X")
+	})
+	b.Run("exact/C=3/N=90", func(b *testing.B) {
+		var x float64
+		for i := 0; i < b.N; i++ {
+			res, err := SolveMulticlass(three, []int{30, 30, 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x = res.Throughput[0] + res.Throughput[1] + res.Throughput[2]
+		}
+		b.ReportMetric(x, "X")
+	})
+	b.Run("approx/C=3/N=3000", func(b *testing.B) {
+		var x float64
+		for i := 0; i < b.N; i++ {
+			res, err := SolveMulticlassApprox(three, []int{1000, 1000, 1000}, 1e-10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x = res.Throughput[0] + res.Throughput[1] + res.Throughput[2]
+		}
+		b.ReportMetric(x, "X")
+	})
+}
+
 // benchScale is the measurement scale used by the benchmark harness:
 // long enough for stable estimates, short enough that the full suite
 // completes in minutes.

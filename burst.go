@@ -139,6 +139,23 @@ type (
 	MVANetwork = mva.Network
 	// MVAResult is the MVA solution at one population.
 	MVAResult = mva.Result
+	// MultiNetwork is the closed multiclass product-form network.
+	MultiNetwork = mva.MultiNetwork
+	// MultiResult is the multiclass MVA solution at one per-class
+	// population vector.
+	MultiResult = mva.MultiResult
+	// ClassSpec declares one workload class of a multiclass Scenario.
+	ClassSpec = core.ClassSpec
+	// ClassDemands is one class resolved to per-tier demands.
+	ClassDemands = core.ClassDemands
+	// MulticlassPoint is the multiclass-MVA column at one population.
+	MulticlassPoint = core.MulticlassPoint
+	// ClassResult is one class's multiclass-MVA prediction.
+	ClassResult = core.ClassResult
+	// ClassValidation compares one class's simulated and modeled behavior.
+	ClassValidation = core.ClassValidation
+	// TPCWWorkloadClass groups testbed transaction types into one class.
+	TPCWWorkloadClass = tpcw.WorkloadClass
 
 	// TPCWConfig parameterizes a TPC-W testbed simulation.
 	TPCWConfig = tpcw.Config
@@ -312,6 +329,20 @@ func SolveMVA(frontDemand, dbDemand, thinkTime float64, n int) (MVAResult, error
 // Deprecated: run a Scenario with SolverMVA.
 func SolveMVAN(demands []float64, thinkTime float64, n int) (MVAResult, error) {
 	return mva.Solve(mva.ModelN(demands, nil, thinkTime), n)
+}
+
+// SolveMulticlass runs exact multiclass MVA at the given per-class
+// population vector. A one-class network with the single-class demands
+// reproduces SolveMVAN exactly (pinned by test).
+func SolveMulticlass(net MultiNetwork, population []int) (MultiResult, error) {
+	return mva.SolveMulticlass(net, population)
+}
+
+// SolveMulticlassApprox runs the Schweitzer/Bard approximate multiclass
+// MVA, which scales to per-class populations far beyond the exact
+// population lattice.
+func SolveMulticlassApprox(net MultiNetwork, population []int, tol float64) (MultiResult, error) {
+	return mva.SolveMulticlassApprox(net, population, tol)
 }
 
 // SimulateTPCW runs the TPC-W testbed simulator.

@@ -69,7 +69,16 @@ func run() error {
 	onError := flag.String("on-error", "", "with -suite: failure policy, fail-fast or continue (empty = the suite file's setting)")
 	retries := flag.Int("retries", -1, "with -suite: max retries of transient cell errors (-1 = the suite file's setting)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell (or per-scenario) deadline; expiry during the exact MAP solve degrades to NetworkBounds (0 = no limit)")
+	classes := flag.String("classes", "", `override the workload classes of the scenario (or suite base): "browsing=3,ordering=1" for mix weights, "browsing:20,ordering:5" for fixed per-class populations`)
 	flag.Parse()
+
+	var classSpecs []burst.ClassSpec
+	if *classes != "" {
+		var err error
+		if classSpecs, err = burst.ParseClassList(*classes); err != nil {
+			return err
+		}
+	}
 
 	switch burst.SolverBackend(*backend) {
 	case burst.BackendAuto, burst.BackendCSR, burst.BackendMatrixFree:
@@ -97,6 +106,7 @@ func run() error {
 			path: *suitePath, outPath: *outPath, backend: *backend,
 			resume: *resume, workers: *workers, quiet: *quiet,
 			onError: *onError, retries: *retries, cellTimeout: *cellTimeout,
+			classes: classSpecs,
 		})
 	}
 
@@ -105,6 +115,9 @@ func run() error {
 		return err
 	}
 	applyBackend(&sc, *backend)
+	if len(classSpecs) > 0 {
+		sc.Classes = classSpecs
+	}
 	if *cellTimeout > 0 {
 		sc.Deadline = cellTimeout.Seconds()
 	}
@@ -163,6 +176,7 @@ type suiteOptions struct {
 	workers, retries       int
 	onError                string
 	cellTimeout            time.Duration
+	classes                []burst.ClassSpec
 }
 
 // runSuite executes a suite file: expand the grid, skip cells already
@@ -176,6 +190,9 @@ func runSuite(ctx context.Context, o suiteOptions) error {
 		return err
 	}
 	applyBackend(&suite.Base, o.backend)
+	if len(o.classes) > 0 {
+		suite.Base.Classes = o.classes
+	}
 	if o.workers != 0 {
 		suite.Workers = o.workers
 	}
@@ -342,6 +359,73 @@ func cellLabel(row burst.SuiteRow) string {
 	return label
 }
 
+// printClassSummary renders the per-class table of a multiclass report:
+// one row per (population, class) with the multiclass-MVA prediction
+// and, when the scenario simulated, the measured per-class columns and
+// validation errors.
+func printClassSummary(rep *burst.Report) {
+	if len(rep.ClassNames) == 0 {
+		return
+	}
+	fmt.Printf("classes: %v\n", rep.ClassNames)
+	if rep.ClassAggregation != "" {
+		fmt.Printf("note: %s\n", rep.ClassAggregation)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	first := rep.Results[0]
+	header := "N\tclass\tN_c"
+	if first.Multiclass != nil {
+		header += "\tMVA X\tMVA R(s)"
+	}
+	if first.Sim != nil && len(first.Sim.ClassNames) > 0 {
+		header += "\tsim X\tsim R(s)"
+	}
+	hasValidation := false
+	for _, r := range rep.Results {
+		if r.Validation != nil && len(r.Validation.Classes) > 0 {
+			hasValidation = true
+		}
+	}
+	if hasValidation {
+		header += "\tX err\tR err"
+	}
+	fmt.Fprintln(w, header)
+	for _, r := range rep.Results {
+		for c, name := range rep.ClassNames {
+			row := fmt.Sprintf("%d\t%s", r.Population, name)
+			switch {
+			case r.Multiclass != nil && c < len(r.Multiclass.Classes):
+				cr := r.Multiclass.Classes[c]
+				row += fmt.Sprintf("\t%d\t%.2f\t%.4f", cr.Population, cr.Throughput, cr.ResponseTime)
+			case r.Validation != nil && c < len(r.Validation.Classes):
+				row += fmt.Sprintf("\t%d", r.Validation.Classes[c].Population)
+			default:
+				row += "\t"
+			}
+			if r.Sim != nil && c < len(r.Sim.ClassThroughput) {
+				row += fmt.Sprintf("\t%.2f±%.2f\t%.4f",
+					r.Sim.ClassThroughput[c].Mean, r.Sim.ClassThroughput[c].HalfWidth,
+					r.Sim.ClassMeanResponse[c].Mean)
+			}
+			if hasValidation {
+				if r.Validation != nil && c < len(r.Validation.Classes) {
+					cv := r.Validation.Classes[c]
+					row += fmt.Sprintf("\t%+.1f%%\t%+.1f%%", 100*cv.MVAError, 100*cv.ResponseError)
+				} else {
+					row += "\t\t"
+				}
+			}
+			fmt.Fprintln(w, row)
+		}
+	}
+	w.Flush()
+	for _, r := range rep.Results {
+		if r.Validation != nil && r.Validation.ClassFallbackReason != "" {
+			fmt.Printf("N=%d: per-class validation degraded: %s\n", r.Population, r.Validation.ClassFallbackReason)
+		}
+	}
+}
+
 // colF renders one optional float column.
 func colF(ok bool, v func() float64) string {
 	if !ok {
@@ -416,6 +500,7 @@ func printSummary(rep *burst.Report, elapsed time.Duration) {
 	if rep.SolverBackend != "" {
 		fmt.Printf("solver: backend=%s peak CTMC states=%d\n", rep.SolverBackend, rep.PeakStates)
 	}
+	printClassSummary(rep)
 
 	// Per-tier validation detail, when the loop was closed.
 	for _, r := range rep.Results {

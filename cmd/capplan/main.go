@@ -52,6 +52,7 @@ func run() error {
 	z := flag.Float64("z", 0.5, "think time Z_qn for the what-if model")
 	ebsList := flag.String("ebs", "25,50,75,100,150", "comma-separated EB counts to evaluate")
 	withBounds := flag.Bool("bounds", false, "also bracket throughput with product-form bounds")
+	classes := flag.String("classes", "", `workload classes for a multiclass what-if ("gold=3,bronze=1" for mix weights, "gold:20,bronze:5" for fixed per-class populations)`)
 	flag.Parse()
 
 	var paths []string
@@ -77,6 +78,9 @@ func run() error {
 		PopulationList(*ebsList).
 		TierNames(*namesList).
 		Solvers(solvers...)
+	if *classes != "" {
+		b.ClassList(*classes)
+	}
 	for i, p := range paths {
 		s, err := readCSV(p, *period)
 		if err != nil {
@@ -124,7 +128,32 @@ func run() error {
 		}
 		fmt.Fprintln(w, row)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// Per-class what-if columns, when classes were declared.
+	if len(rep.ClassNames) > 0 {
+		fmt.Printf("classes: %v\n", rep.ClassNames)
+		if rep.ClassAggregation != "" {
+			fmt.Printf("note: %s\n", rep.ClassAggregation)
+		}
+		cw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(cw, "EBs\tclass\tEBs_c\tMVA TPUT\tMVA R(s)")
+		for _, r := range rep.Results {
+			if r.Multiclass == nil {
+				continue
+			}
+			for _, cr := range r.Multiclass.Classes {
+				fmt.Fprintf(cw, "%d\t%s\t%d\t%.1f\t%.4f\n",
+					r.Population, cr.Name, cr.Population, cr.Throughput, cr.ResponseTime)
+			}
+		}
+		if err := cw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func readCSV(path string, period float64) (trace.UtilizationSamples, error) {

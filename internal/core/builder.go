@@ -46,6 +46,63 @@ func ParseNameList(s string) []string {
 	return out
 }
 
+// ParseClassList parses a comma-separated workload class declaration,
+// the CLI syntax for multiclass scenarios. Each entry is a class name
+// with an optional population share: "name=weight" declares a mix
+// weight (positive float), "name:count" a fixed per-class population
+// (positive integer), and a bare "name" a default-weight class. Entries
+// may mix the two forms; Scenario validation enforces that the result
+// is feasible against the population sweep.
+//
+//	browsing=3,ordering=1    weighted 3:1 split
+//	browsing:20,ordering:5   fixed per-class populations
+//	browsing,ordering        equal weights
+func ParseClassList(s string) ([]ClassSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("core: empty class list")
+	}
+	var out []ClassSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var spec ClassSpec
+		switch {
+		case strings.Contains(entry, "="):
+			name, val, _ := strings.Cut(entry, "=")
+			w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: class %q: bad weight %q", strings.TrimSpace(name), strings.TrimSpace(val))
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("core: class %q: weight %v must be > 0", strings.TrimSpace(name), w)
+			}
+			spec = ClassSpec{Name: strings.TrimSpace(name), Weight: w}
+		case strings.Contains(entry, ":"):
+			name, val, _ := strings.Cut(entry, ":")
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("core: class %q: bad population %q", strings.TrimSpace(name), strings.TrimSpace(val))
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("core: class %q: population %d must be >= 1", strings.TrimSpace(name), n)
+			}
+			spec = ClassSpec{Name: strings.TrimSpace(name), Population: n}
+		default:
+			spec = ClassSpec{Name: entry}
+		}
+		if spec.Name == "" {
+			return nil, fmt.Errorf("core: class entry %q has no name", entry)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: empty class list")
+	}
+	return out, nil
+}
+
 // CLIWindow maps a command-line warm-up/cool-down flag value to the
 // library's window semantics: on the CLI an explicit 0 means "analyze the
 // whole run" (the ZeroWindow sentinel), whereas an untouched flag keeps
@@ -127,6 +184,31 @@ func (b *ScenarioBuilder) DemandTier(name string, mean, indexOfDispersion, p95 f
 	b.sc.Tiers = append(b.sc.Tiers, TierSpec{
 		Name: name, Mean: mean, IndexOfDispersion: indexOfDispersion, P95: p95,
 	})
+	return b
+}
+
+// Class appends a workload class. Exactly one of weight or population
+// should be set; a class with both zero gets the default weight 1 at
+// Build time. tierDemands optionally overrides the per-tier demands in
+// tier order (one value per declared tier, enforced by validation).
+func (b *ScenarioBuilder) Class(name string, weight float64, population int, tierDemands ...float64) *ScenarioBuilder {
+	b.sc.Classes = append(b.sc.Classes, ClassSpec{
+		Name:        name,
+		Weight:      weight,
+		Population:  population,
+		TierDemands: append([]float64(nil), tierDemands...),
+	})
+	return b
+}
+
+// ClassList parses a comma-separated class declaration — see
+// ParseClassList for the syntax ("browsing=3,ordering=1").
+func (b *ScenarioBuilder) ClassList(csv string) *ScenarioBuilder {
+	specs, err := ParseClassList(csv)
+	if err != nil {
+		return b.fail("classes: %v", err)
+	}
+	b.sc.Classes = append(b.sc.Classes, specs...)
 	return b
 }
 

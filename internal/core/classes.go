@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/inference"
+	"repro/internal/mva"
+)
+
+// Multiclass demand resolution: a Scenario's ClassSpecs plus the per-tier
+// characterizations resolve into one demand vector per class, the input
+// shape of mva.MultiNetwork. Single-class scenarios never reach this file.
+
+// ClassDemands is one workload class resolved against the scenario's
+// tiers: the per-tier mean service demands (visits included) and the
+// class's think time.
+type ClassDemands struct {
+	// Name labels the class.
+	Name string
+	// Demands[i] is the class's mean service demand at tier i in seconds.
+	Demands []float64
+	// ThinkTime is the class's think time Z_c in seconds.
+	ThinkTime float64
+}
+
+// ResolveClassDemands materializes each class's per-tier demand vector
+// and think time: TierDemands entries override per tier, everything else
+// inherits the tier's aggregate demand (visits × characterized mean) and
+// the scenario think time.
+func ResolveClassDemands(sc Scenario, chars []inference.Characterization) ([]ClassDemands, error) {
+	if len(sc.Classes) == 0 {
+		return nil, errors.New("core: scenario declares no classes")
+	}
+	if len(chars) != len(sc.Tiers) {
+		return nil, fmt.Errorf("core: %d characterizations for %d tiers", len(chars), len(sc.Tiers))
+	}
+	base := make([]float64, len(sc.Tiers))
+	for i, spec := range sc.Tiers {
+		v := spec.Visits
+		if v == 0 {
+			v = 1
+		}
+		base[i] = v * chars[i].MeanServiceTime
+	}
+	out := make([]ClassDemands, len(sc.Classes))
+	for c, cls := range sc.Classes {
+		d := append([]float64(nil), base...)
+		for i, override := range cls.TierDemands {
+			if override > 0 {
+				d[i] = override
+			}
+		}
+		z := cls.ThinkTime
+		if z == 0 {
+			z = sc.ThinkTime
+		}
+		out[c] = ClassDemands{Name: cls.Name, Demands: d, ThinkTime: z}
+	}
+	return out, nil
+}
+
+// MultiNetworkFor assembles the multiclass MVA network from resolved
+// class demands.
+func MultiNetworkFor(classes []ClassDemands) mva.MultiNetwork {
+	net := mva.MultiNetwork{
+		Demands:    make([][]float64, len(classes)),
+		ThinkTimes: make([]float64, len(classes)),
+	}
+	for c, cls := range classes {
+		net.Demands[c] = append([]float64(nil), cls.Demands...)
+		net.ThinkTimes[c] = cls.ThinkTime
+	}
+	return net
+}
+
+// Methods a multiclass MVA solve can use (MulticlassResult.Method).
+const (
+	// MulticlassExact is the exact recursion over the population lattice.
+	MulticlassExact = "exact"
+	// MulticlassApprox is the Schweitzer/Bard fixed point, used when the
+	// exact lattice would be intractable.
+	MulticlassApprox = "approx"
+)
+
+// exactLatticeCap bounds the population-lattice size solved exactly; the
+// sweep switches to the Schweitzer/Bard approximation above it. Well
+// under mva.SolveMulticlass's own hard cap, so the exact path never
+// errors on size.
+const exactLatticeCap = 2_000_000
+
+// MulticlassResult pairs one solved per-class population vector with the
+// method that produced it.
+type MulticlassResult struct {
+	// Result holds the per-class throughputs/response times and the
+	// per-station aggregate queue lengths and utilizations.
+	Result mva.MultiResult
+	// Method is MulticlassExact or MulticlassApprox.
+	Method string
+}
+
+// SolveMulticlassSweep solves the multiclass network at each per-class
+// population vector: exact MVA while the population lattice stays
+// tractable, the Schweitzer/Bard approximation beyond. tol tunes the
+// approximate fixed point (0 uses its default).
+func SolveMulticlassSweep(net mva.MultiNetwork, populations [][]int, tol float64) ([]MulticlassResult, error) {
+	if len(populations) == 0 {
+		return nil, errors.New("core: no populations requested")
+	}
+	out := make([]MulticlassResult, len(populations))
+	for i, pop := range populations {
+		lattice := 1
+		exact := true
+		for _, n := range pop {
+			lattice *= n + 1
+			if lattice > exactLatticeCap {
+				exact = false
+				break
+			}
+		}
+		if exact {
+			res, err := mva.SolveMulticlass(net, pop)
+			if err != nil {
+				return nil, fmt.Errorf("core: multiclass MVA at %v: %w", pop, err)
+			}
+			out[i] = MulticlassResult{Result: res, Method: MulticlassExact}
+			continue
+		}
+		res, err := mva.SolveMulticlassApprox(net, pop, tol)
+		if err != nil {
+			return nil, fmt.Errorf("core: approximate multiclass MVA at %v: %w", pop, err)
+		}
+		out[i] = MulticlassResult{Result: res, Method: MulticlassApprox}
+	}
+	return out, nil
+}
+
+// SplitPopulation divides a total population among the classes: fixed
+// Population entries are taken verbatim, the remainder is split among
+// weighted classes proportionally to their weights with largest-remainder
+// rounding (ties broken by class order, so the split is deterministic).
+// Classes with neither a population nor a weight count as weight 1
+// (WithDefaults materializes this; the fallback here keeps the function
+// usable on un-defaulted specs).
+func SplitPopulation(classes []ClassSpec, total int) ([]int, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("core: no classes to split the population over")
+	}
+	if total < 1 {
+		return nil, fmt.Errorf("core: population %d must be >= 1", total)
+	}
+	out := make([]int, len(classes))
+	fixed := 0
+	var weights []float64
+	var weightIdx []int
+	for i, c := range classes {
+		if c.Population > 0 {
+			out[i] = c.Population
+			fixed += c.Population
+			continue
+		}
+		w := c.Weight
+		if w == 0 {
+			w = 1
+		}
+		weights = append(weights, w)
+		weightIdx = append(weightIdx, i)
+	}
+	rest := total - fixed
+	if rest < 0 {
+		return nil, fmt.Errorf("core: fixed class populations sum to %d, exceeding the population %d", fixed, total)
+	}
+	if len(weights) == 0 {
+		if rest != 0 {
+			return nil, fmt.Errorf("core: fixed class populations sum to %d but the population is %d", fixed, total)
+		}
+		return out, nil
+	}
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("core: class weights sum to zero")
+	}
+	// Largest-remainder apportionment of rest over the weighted classes.
+	floor := make([]int, len(weights))
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, len(weights))
+	assigned := 0
+	for j, w := range weights {
+		exact := float64(rest) * w / sum
+		floor[j] = int(exact)
+		assigned += floor[j]
+		fracs[j] = frac{idx: j, rem: exact - float64(floor[j])}
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+	for k := 0; k < rest-assigned; k++ {
+		floor[fracs[k%len(fracs)].idx]++
+	}
+	for j, n := range floor {
+		out[weightIdx[j]] = n
+	}
+	return out, nil
+}

@@ -46,6 +46,16 @@ type Grid struct {
 	// Mixes varies the workload transaction mix (requires a base
 	// workload).
 	Mixes []string `json:"mixes,omitempty"`
+	// ClassWeights varies the class mix: each entry is one full weight
+	// vector over the base scenario's declared classes, in declaration
+	// order (requires base classes; entries override any fixed per-class
+	// populations).
+	ClassWeights [][]float64 `json:"class_weights,omitempty"`
+	// ClassPopulations varies the per-class fixed populations: each entry
+	// is one full per-class count vector, in declaration order (requires
+	// base classes). Each cell's sweep populations must equal the vector's
+	// sum — cell validation enforces it.
+	ClassPopulations [][]int `json:"class_populations,omitempty"`
 	// Solvers varies the solver selection per cell.
 	Solvers [][]SolverKind `json:"solvers,omitempty"`
 	// Replicas varies the per-population replica count (requires a base
@@ -118,6 +128,32 @@ func (g Grid) axes(names []string) []axis {
 			apply: func(sc *Scenario, i int) { sc.Workload.Mix = g.Mixes[i] },
 		})
 	}
+	if len(g.ClassWeights) > 0 {
+		out = append(out, axis{
+			name:  "class_mix",
+			size:  len(g.ClassWeights),
+			label: func(i int) string { return formatFloats(g.ClassWeights[i]) },
+			apply: func(sc *Scenario, i int) {
+				for c := range sc.Classes {
+					sc.Classes[c].Weight = g.ClassWeights[i][c]
+					sc.Classes[c].Population = 0
+				}
+			},
+		})
+	}
+	if len(g.ClassPopulations) > 0 {
+		out = append(out, axis{
+			name:  "class_N",
+			size:  len(g.ClassPopulations),
+			label: func(i int) string { return formatInts(g.ClassPopulations[i]) },
+			apply: func(sc *Scenario, i int) {
+				for c := range sc.Classes {
+					sc.Classes[c].Population = g.ClassPopulations[i][c]
+					sc.Classes[c].Weight = 0
+				}
+			},
+		})
+	}
 	if len(g.Solvers) > 0 {
 		out = append(out, axis{
 			name: "solvers",
@@ -186,6 +222,31 @@ func (g Grid) validate(base Scenario) error {
 	if needsWorkload && base.Workload == nil {
 		return errors.New("core: grid varies the workload (mixes/replicas/seeds) but the base scenario declares none")
 	}
+	needsClasses := len(g.ClassWeights) > 0 || len(g.ClassPopulations) > 0
+	if needsClasses && len(base.Classes) == 0 {
+		return errors.New("core: grid varies classes (class_weights/class_populations) but the base scenario declares none")
+	}
+	for i, ws := range g.ClassWeights {
+		if len(ws) != len(base.Classes) {
+			return fmt.Errorf("core: grid class weights entry %d has %d weights for %d classes", i, len(ws), len(base.Classes))
+		}
+		for c, w := range ws {
+			if w <= 0 {
+				// Zero would be silently replaced by the default weight 1.
+				return fmt.Errorf("core: grid class weights entry %d: class %d weight %v must be > 0", i, c, w)
+			}
+		}
+	}
+	for i, ns := range g.ClassPopulations {
+		if len(ns) != len(base.Classes) {
+			return fmt.Errorf("core: grid class populations entry %d has %d counts for %d classes", i, len(ns), len(base.Classes))
+		}
+		for c, n := range ns {
+			if n < 1 {
+				return fmt.Errorf("core: grid class populations entry %d: class %d count %d must be >= 1", i, c, n)
+			}
+		}
+	}
 	// Axis values that WithDefaults would silently replace must be
 	// rejected here: a cell labeled R=0 that actually runs the default
 	// replica count would lie about what executed.
@@ -225,6 +286,15 @@ func (g Grid) Cells() int {
 // formatFloat renders an axis value compactly ("0.5", "40", "1e-08").
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatFloats renders a class weight vector ("3/1").
+func formatFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = formatFloat(v)
+	}
+	return strings.Join(parts, "/")
 }
 
 // formatInts renders a population list ("50" or "25,50,100").

@@ -211,6 +211,36 @@ func (p *PlanN) PredictCtx(ctx context.Context, populations []int, progress mapq
 	return out, nil
 }
 
+// MulticlassNetwork assembles the multiclass MVA network of the plan
+// from resolved class demands. Every class must supply one demand per
+// tier; classes inherit nothing here — ResolveClassDemands materializes
+// inherited tier demands before this point.
+func (p *PlanN) MulticlassNetwork(classes []ClassDemands) (mva.MultiNetwork, error) {
+	if len(classes) == 0 {
+		return mva.MultiNetwork{}, errors.New("core: no classes declared")
+	}
+	for _, c := range classes {
+		if len(c.Demands) != len(p.Tiers) {
+			return mva.MultiNetwork{}, fmt.Errorf("core: class %s has %d demands for %d tiers", c.Name, len(c.Demands), len(p.Tiers))
+		}
+	}
+	return MultiNetworkFor(classes), nil
+}
+
+// PredictMulticlass evaluates the multiclass analytic path of the plan:
+// exact multiclass MVA (Schweitzer/Bard beyond the tractable lattice) at
+// each per-class population vector. It complements Predict, whose MAP
+// column stays single-class — exact multiclass CTMC state spaces explode
+// — so a multiclass scenario pairs this sweep with the aggregated-class
+// MAP solve.
+func (p *PlanN) PredictMulticlass(classes []ClassDemands, populations [][]int) ([]MulticlassResult, error) {
+	net, err := p.MulticlassNetwork(classes)
+	if err != nil {
+		return nil, err
+	}
+	return SolveMulticlassSweep(net, populations, p.opts.Solver.Tol)
+}
+
 // Bounds brackets the MAP network's throughput at each population with
 // two O(N*K) product-form evaluations, usable far beyond exact CTMC
 // reach.

@@ -56,6 +56,64 @@ type SimPoint struct {
 	// entries.
 	CompletedByType  []int64  `json:"completed_by_type,omitempty"`
 	TransactionNames []string `json:"transaction_names,omitempty"`
+	// ClassNames labels the per-class slices below (the testbed's
+	// workload classes — groups of transaction types).
+	ClassNames []string `json:"class_names,omitempty"`
+	// ClassThroughput[c] and ClassMeanResponse[c] summarize class c's
+	// simulated throughput and mean response across replicas.
+	ClassThroughput   []stats.Interval `json:"class_throughput,omitempty"`
+	ClassMeanResponse []stats.Interval `json:"class_mean_response,omitempty"`
+}
+
+// ClassResult is one class's multiclass-MVA prediction at one population.
+type ClassResult struct {
+	// Name labels the class.
+	Name string `json:"name"`
+	// Population is the class's customer count at this sweep point.
+	Population int `json:"population"`
+	// Throughput and ResponseTime are the class's multiclass-MVA
+	// predictions (response excludes think time).
+	Throughput   float64 `json:"throughput"`
+	ResponseTime float64 `json:"response_time"`
+}
+
+// MulticlassPoint carries the multiclass MVA solution at one total
+// population: per-class throughput/response plus the per-tier aggregates.
+type MulticlassPoint struct {
+	// Method is "exact" (population-lattice recursion) or "approx"
+	// (Schweitzer/Bard, beyond the tractable lattice).
+	Method string `json:"method"`
+	// Classes holds one entry per declared class, in declaration order.
+	Classes []ClassResult `json:"classes"`
+	// Throughput is the aggregate throughput (sum over classes).
+	Throughput float64 `json:"throughput"`
+	// ResponseTime is the throughput-weighted mean response time.
+	ResponseTime float64 `json:"response_time"`
+	// Utilizations[i] and QueueLengths[i] are tier i's totals across
+	// classes.
+	Utilizations []float64 `json:"utilizations"`
+	QueueLengths []float64 `json:"queue_lengths"`
+}
+
+// ClassValidation compares one class's simulated and modeled behavior at
+// one population — the per-class face of the cross-validation deltas.
+type ClassValidation struct {
+	// Name labels the class; Population is the class's share of the
+	// operating point's customers, inferred from the measured per-class
+	// throughput and response (interactive response law).
+	Name       string `json:"name"`
+	Population int    `json:"population"`
+	// SimThroughput and SimMeanResponse are the simulated per-class
+	// measurements across replicas.
+	SimThroughput   stats.Interval `json:"sim_throughput"`
+	SimMeanResponse stats.Interval `json:"sim_mean_response"`
+	// MVAThroughput and MVAResponse are the multiclass-MVA predictions.
+	MVAThroughput float64 `json:"mva_throughput"`
+	MVAResponse   float64 `json:"mva_response"`
+	// MVAError is the signed relative throughput error against the
+	// simulated mean; ResponseError the same for mean response.
+	MVAError      float64 `json:"mva_error"`
+	ResponseError float64 `json:"response_error"`
 }
 
 // TierValidation compares one tier's simulated and modeled utilization.
@@ -97,6 +155,12 @@ type ValidationPoint struct {
 	SolverBackend string `json:"solver_backend,omitempty"`
 	// Tiers holds the per-tier utilization comparison.
 	Tiers []TierValidation `json:"tiers"`
+	// Classes holds the per-class throughput/response comparison against
+	// multiclass MVA (multiclass scenarios only). ClassFallbackReason is
+	// set instead when the per-class model could not be built (e.g. a
+	// class completed too few transactions to characterize).
+	Classes             []ClassValidation `json:"classes,omitempty"`
+	ClassFallbackReason string            `json:"class_fallback_reason,omitempty"`
 	// Degraded marks a validation whose exact MAP solve failed and was
 	// replaced by NetworkBounds (Bounds); MAPThroughput/MAPUtil are then
 	// zero and MAP errors are not meaningful. FallbackReason explains why.
@@ -115,6 +179,9 @@ type PopulationReport struct {
 	MAP *mapqn.NetworkMetrics `json:"map,omitempty"`
 	// MVA is the product-form baseline ("mva" solver).
 	MVA *mva.Result `json:"mva,omitempty"`
+	// Multiclass is the multiclass-MVA solution (scenarios declaring
+	// classes; runs alongside whatever single-class solvers requested).
+	Multiclass *MulticlassPoint `json:"multiclass,omitempty"`
 	// Bounds bracket the MAP network's throughput ("bounds" solver).
 	Bounds *mapqn.NetworkBoundsResult `json:"bounds,omitempty"`
 	// Sim is the simulated ground truth ("sim"/"crossvalidate" solvers).
@@ -131,6 +198,13 @@ type Report struct {
 	Scenario Scenario `json:"scenario"`
 	// TierNames labels the modeled tiers (when an analytical solver ran).
 	TierNames []string `json:"tier_names,omitempty"`
+	// ClassNames labels the declared workload classes (multiclass
+	// scenarios only), in declaration order.
+	ClassNames []string `json:"class_names,omitempty"`
+	// ClassAggregation records how a single-class solver represented a
+	// multiclass scenario — e.g. the MAP/CTMC solver, which stays
+	// single-class, solving the aggregate per-tier characterizations.
+	ClassAggregation string `json:"class_aggregation,omitempty"`
 	// Tiers summarizes the modeled tiers' characterizations and fits.
 	Tiers []TierReport `json:"tiers,omitempty"`
 	// Results holds one entry per population, in scenario order.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -102,6 +103,87 @@ func (t TierSpec) validate(i int) error {
 	return nil
 }
 
+// ClassSpec declares one workload class of a multiclass scenario: a
+// named share of the population with its own think time and per-tier
+// demands. Scenarios without classes are single-class — the degenerate
+// case every solver handled before classes existed — and their JSON and
+// content hash are unchanged by this field's absence.
+type ClassSpec struct {
+	// Name labels the class ("browsing", "ordering", ...). Simulation-
+	// backed solvers additionally require a name the testbed can measure
+	// (see ValidSimClassNames).
+	Name string `json:"name"`
+	// Population fixes the class's customer count at every sweep point.
+	// Mutually exclusive with Weight; 0 means unset.
+	Population int `json:"population,omitempty"`
+	// Weight is the class's mix weight: the population not claimed by
+	// fixed-population classes is split proportionally to the weights
+	// (largest-remainder rounding). Classes with neither Population nor
+	// Weight default to weight 1.
+	Weight float64 `json:"weight,omitempty"`
+	// ThinkTime overrides the scenario think time for this class
+	// (0 inherits Scenario.ThinkTime).
+	ThinkTime float64 `json:"think_time,omitempty"`
+	// TierDemands[i] overrides the class's mean service demand at tier i
+	// in seconds, visits included (empty inherits every tier's aggregate
+	// demand; a 0 entry inherits that one tier).
+	TierDemands []float64 `json:"tier_demands,omitempty"`
+}
+
+// validate checks one class spec. tiers is the scenario's declared tier
+// count (0 when only simulation solvers run).
+func (c ClassSpec) validate(i, tiers int) error {
+	if c.Name == "" {
+		return fmt.Errorf("core: class %d needs a name", i)
+	}
+	if c.Population < 0 {
+		return fmt.Errorf("core: class %d (%s): population %d must be >= 0", i, c.Name, c.Population)
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("core: class %d (%s): weight %v must be >= 0", i, c.Name, c.Weight)
+	}
+	if c.Population > 0 && c.Weight > 0 {
+		return fmt.Errorf("core: class %d (%s): give either a fixed population or a mix weight, not both", i, c.Name)
+	}
+	if c.ThinkTime < 0 {
+		return fmt.Errorf("core: class %d (%s): think time %v must be >= 0", i, c.Name, c.ThinkTime)
+	}
+	if len(c.TierDemands) > 0 {
+		if tiers == 0 {
+			return fmt.Errorf("core: class %d (%s): tier demand overrides need declared tiers", i, c.Name)
+		}
+		if len(c.TierDemands) != tiers {
+			return fmt.Errorf("core: class %d (%s): %d tier demands for %d tiers", i, c.Name, len(c.TierDemands), tiers)
+		}
+		for j, d := range c.TierDemands {
+			if d < 0 {
+				return fmt.Errorf("core: class %d (%s): tier %d demand %v must be >= 0", i, c.Name, j, d)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidMixNames lists the named TPC-W transaction mixes a WorkloadSpec
+// accepts. It is the source of truth for mix-name validation across the
+// builder, grid expansion, and scenario validation.
+var ValidMixNames = []string{"browsing", "shopping", "ordering"}
+
+// ValidSimClassNames lists the workload class names the simulation-backed
+// solvers can measure: the testbed groups its transaction types into
+// these classes (tpcw.DefaultClasses — the two lists must stay in sync).
+var ValidSimClassNames = []string{"browsing", "ordering"}
+
+// nameIn reports whether name appears in the list.
+func nameIn(name string, list []string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // WorkloadSpec declares the simulated TPC-W testbed of a Scenario — the
 // system the "sim" and "crossvalidate" solvers run. Field semantics match
 // tpcw.ConfigN: zero values mean "use the testbed default".
@@ -188,6 +270,14 @@ type Scenario struct {
 	// "bounds" solvers; ignored by "sim" and "crossvalidate", which take
 	// the simulated testbed's tiers).
 	Tiers []TierSpec `json:"tiers,omitempty"`
+	// Classes declare the workload classes of a multiclass scenario.
+	// Empty means single-class: every solver behaves exactly as before
+	// classes existed, and the scenario's canonical JSON and content hash
+	// are unchanged. With classes, the analytic path additionally solves
+	// exact multiclass MVA (per-class demand vectors over the declared
+	// tiers) and the simulation-backed solvers report per-class
+	// measurements and validation errors.
+	Classes []ClassSpec `json:"classes,omitempty"`
 	// Workload declares the simulated testbed (required by the "sim" and
 	// "crossvalidate" solvers).
 	Workload *WorkloadSpec `json:"workload,omitempty"`
@@ -222,6 +312,15 @@ func (s Scenario) WithDefaults() Scenario {
 		case s.Workload != nil:
 			s.Solvers = []SolverKind{SolverCrossValidate}
 		}
+	}
+	if len(s.Classes) > 0 {
+		classes := append([]ClassSpec(nil), s.Classes...)
+		for i := range classes {
+			if classes[i].Population == 0 && classes[i].Weight == 0 {
+				classes[i].Weight = 1
+			}
+		}
+		s.Classes = classes
 	}
 	if s.Workload != nil {
 		wl := *s.Workload
@@ -262,6 +361,22 @@ func (s Scenario) WantsModel() bool {
 // crossvalidate) is requested — the ones that consume the workload spec.
 func (s Scenario) WantsSimulation() bool {
 	return s.Wants(SolverSim) || s.Wants(SolverCrossValidate)
+}
+
+// Multiclass reports whether the scenario declares workload classes.
+func (s Scenario) Multiclass() bool { return len(s.Classes) > 0 }
+
+// ClassNames returns the declared class names in order (nil when
+// single-class).
+func (s Scenario) ClassNames() []string {
+	if len(s.Classes) == 0 {
+		return nil
+	}
+	names := make([]string, len(s.Classes))
+	for i, c := range s.Classes {
+		names[i] = c.Name
+	}
+	return names
 }
 
 // Validate checks the scenario for structural problems. Call WithDefaults
@@ -308,11 +423,46 @@ func (s Scenario) Validate() error {
 		if s.Workload == nil {
 			return errors.New("core: the sim/crossvalidate solvers need a workload")
 		}
+		if !nameIn(s.Workload.Mix, ValidMixNames) {
+			return fmt.Errorf("core: unknown mix %q (want %s)", s.Workload.Mix, strings.Join(ValidMixNames, ", "))
+		}
 		if s.Workload.Tiers < 2 {
 			return fmt.Errorf("core: workload tiers %d must be >= 2", s.Workload.Tiers)
 		}
 		if s.Workload.Replicas < 1 {
 			return fmt.Errorf("core: workload replicas %d must be >= 1", s.Workload.Replicas)
+		}
+	}
+	if len(s.Classes) > 0 {
+		seen := map[string]bool{}
+		for i, c := range s.Classes {
+			if err := c.validate(i, len(s.Tiers)); err != nil {
+				return err
+			}
+			if seen[c.Name] {
+				return fmt.Errorf("core: class %q declared twice", c.Name)
+			}
+			seen[c.Name] = true
+			if s.WantsSimulation() && !nameIn(c.Name, ValidSimClassNames) {
+				return fmt.Errorf("core: class %q cannot be measured by the sim/crossvalidate solvers (want %s)",
+					c.Name, strings.Join(ValidSimClassNames, ", "))
+			}
+		}
+		if s.WantsSimulation() {
+			// The testbed's classes must partition its transaction set, so
+			// a simulated multiclass scenario has to declare all of them.
+			for _, want := range ValidSimClassNames {
+				if !seen[want] {
+					return fmt.Errorf("core: sim/crossvalidate multiclass scenarios must declare every testbed class (missing %q; want %s)",
+						want, strings.Join(ValidSimClassNames, ", "))
+				}
+			}
+		}
+		// Every sweep point must be splittable into per-class counts.
+		for _, n := range s.Populations {
+			if _, err := SplitPopulation(s.Classes, n); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

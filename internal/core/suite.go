@@ -135,6 +135,13 @@ func (s Scenario) clone() Scenario {
 		cp.Tiers = make([]TierSpec, len(s.Tiers))
 		copy(cp.Tiers, s.Tiers)
 	}
+	if s.Classes != nil {
+		cp.Classes = make([]ClassSpec, len(s.Classes))
+		copy(cp.Classes, s.Classes)
+		for i := range cp.Classes {
+			cp.Classes[i].TierDemands = append([]float64(nil), s.Classes[i].TierDemands...)
+		}
+	}
 	if s.Workload != nil {
 		wl := *s.Workload
 		cp.Workload = &wl

@@ -91,6 +91,27 @@ func CharacterizeAll(samples []trace.UtilizationSamples, opts Options) ([]Charac
 	return out, nil
 }
 
+// CharacterizeClasses runs the estimation pipeline on per-class
+// measurement streams: classes[c][i] is class c's monitoring stream at
+// tier i (the shape tpcw's ClassTierSamples produces), and the result is
+// one characterization per class per tier. A class too lightly loaded to
+// characterize — e.g. too few busy periods for the dispersion estimate —
+// errors with the class index, so callers can degrade per class.
+func CharacterizeClasses(classes [][]trace.UtilizationSamples, opts Options) ([][]Characterization, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("inference: no classes to characterize")
+	}
+	out := make([][]Characterization, len(classes))
+	for c, tiers := range classes {
+		chars, err := CharacterizeAll(tiers, opts)
+		if err != nil {
+			return nil, fmt.Errorf("inference: class %d: %w", c, err)
+		}
+		out[c] = chars
+	}
+	return out, nil
+}
+
 // Validate sanity-checks a characterization before it is used for
 // fitting.
 func (c Characterization) Validate() error {

@@ -536,3 +536,60 @@ func TestModelNGeneralizesModel(t *testing.T) {
 		t.Errorf("K=3 result slices have wrong length: %+v", res)
 	}
 }
+
+// TestPropMulticlassDegeneratesToSingleClass is the refactor's solver-level
+// equivalence property: a one-class multiclass network must reproduce the
+// single-class recursion bit-for-bit (within 1e-12) — throughput, response
+// time, and per-station utilizations — across randomized station counts,
+// demands, think times, and populations. The multiclass lattice with C=1
+// walks the same points as the single-class sweep, so any drift means the
+// degenerate case broke.
+func TestPropMulticlassDegeneratesToSingleClass(t *testing.T) {
+	f := func(seed int64) bool {
+		src := xrand.New(seed)
+		m := 1 + src.Intn(6)
+		demands := make([]float64, m)
+		for i := range demands {
+			demands[i] = 0.001 + 0.05*src.Float64()
+		}
+		z := src.Float64()
+		n := 1 + src.Intn(60)
+
+		single, err := Solve(Network{Demands: demands, ThinkTime: z}, n)
+		if err != nil {
+			t.Logf("seed %d: single-class solve: %v", seed, err)
+			return false
+		}
+		multi, err := SolveMulticlass(MultiNetwork{
+			Demands:    [][]float64{demands},
+			ThinkTimes: []float64{z},
+		}, []int{n})
+		if err != nil {
+			t.Logf("seed %d: multiclass solve: %v", seed, err)
+			return false
+		}
+
+		if math.Abs(multi.Throughput[0]-single.Throughput) > 1e-12 {
+			t.Logf("seed %d: X %v != %v", seed, multi.Throughput[0], single.Throughput)
+			return false
+		}
+		if math.Abs(multi.ResponseTime[0]-single.ResponseTime) > 1e-12 {
+			t.Logf("seed %d: R %v != %v", seed, multi.ResponseTime[0], single.ResponseTime)
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if math.Abs(multi.Utilizations[i]-single.Utilizations[i]) > 1e-12 {
+				t.Logf("seed %d: U[%d] %v != %v", seed, i, multi.Utilizations[i], single.Utilizations[i])
+				return false
+			}
+			if math.Abs(multi.QueueLengths[i]-single.QueueLengths[i]) > 1e-12 {
+				t.Logf("seed %d: Q[%d] %v != %v", seed, i, multi.QueueLengths[i], single.QueueLengths[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package tpcw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WorkloadClass groups transaction types into one modeled class: the unit
+// at which the testbed splits its per-tier measurements for multiclass
+// modeling. Classes must partition the transaction set — every type in
+// exactly one class — so the per-class monitoring streams add back up to
+// the tier's aggregate stream.
+type WorkloadClass struct {
+	// Name labels the class ("browsing", "ordering", ...).
+	Name string
+	// Types are the transaction types the class covers.
+	Types []Transaction
+}
+
+// DefaultClasses returns the standard two-class grouping of the TPC-W
+// transaction set: "browsing" covers the read-only types (Transaction.
+// IsBrowsing), "ordering" the buy/cart/admin types. The names must stay
+// in sync with core.ValidSimClassNames, which scenario validation uses
+// to reject classes the testbed cannot measure.
+func DefaultClasses() []WorkloadClass {
+	var browse, order []Transaction
+	for t := Transaction(0); t < NumTransactions; t++ {
+		if t.IsBrowsing() {
+			browse = append(browse, t)
+		} else {
+			order = append(order, t)
+		}
+	}
+	return []WorkloadClass{
+		{Name: "browsing", Types: browse},
+		{Name: "ordering", Types: order},
+	}
+}
+
+// ClassesByName selects classes from the default grouping by name,
+// preserving the requested order. Unknown names error, listing the valid
+// ones.
+func ClassesByName(names []string) ([]WorkloadClass, error) {
+	defaults := DefaultClasses()
+	out := make([]WorkloadClass, 0, len(names))
+	for _, name := range names {
+		found := false
+		for _, c := range defaults {
+			if c.Name == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			valid := make([]string, len(defaults))
+			for i, c := range defaults {
+				valid[i] = c.Name
+			}
+			return nil, fmt.Errorf("tpcw: unknown workload class %q (want %s)", name, strings.Join(valid, ", "))
+		}
+	}
+	return out, nil
+}
+
+// validateClasses checks that the classes partition the transaction set.
+func validateClasses(classes []WorkloadClass) error {
+	var covered [NumTransactions]bool
+	for _, c := range classes {
+		if c.Name == "" {
+			return fmt.Errorf("tpcw: workload class with %d types needs a name", len(c.Types))
+		}
+		if len(c.Types) == 0 {
+			return fmt.Errorf("tpcw: workload class %s covers no transaction types", c.Name)
+		}
+		for _, t := range c.Types {
+			if t < 0 || t >= NumTransactions {
+				return fmt.Errorf("tpcw: workload class %s lists invalid transaction %d", c.Name, t)
+			}
+			if covered[t] {
+				return fmt.Errorf("tpcw: transaction %v appears in two workload classes", t)
+			}
+			covered[t] = true
+		}
+	}
+	for t, ok := range covered {
+		if !ok {
+			return fmt.Errorf("tpcw: transaction %v belongs to no workload class", Transaction(t))
+		}
+	}
+	return nil
+}
+
+// classOfType builds the type→class index map (every entry set: classes
+// are validated to partition the transaction set).
+func classOfType(classes []WorkloadClass) [NumTransactions]int {
+	var m [NumTransactions]int
+	for c, cls := range classes {
+		for _, t := range cls.Types {
+			m[t] = c
+		}
+	}
+	return m
+}

@@ -112,6 +112,11 @@ type ConfigN struct {
 	// TrackSeries enables the 1-second time series (per-tier utilization
 	// and queue length, per-type in-system counts).
 	TrackSeries bool
+	// Classes groups transaction types into workload classes for the
+	// per-class measurement streams (ResultN.ClassTierSamples and the
+	// per-class throughput/response columns). Empty uses DefaultClasses
+	// (browsing/ordering). Classes must partition the transaction set.
+	Classes []WorkloadClass
 }
 
 // defaultWindow resolves a Warmup/Cooldown field: 0 is unset, negative is
@@ -159,6 +164,18 @@ func (c ConfigN) WithDefaults() ConfigN {
 		}
 	}
 	c.Tiers = tiers
+	if len(c.Classes) == 0 {
+		c.Classes = DefaultClasses()
+	} else {
+		classes := make([]WorkloadClass, len(c.Classes))
+		for i, cls := range c.Classes {
+			classes[i] = WorkloadClass{
+				Name:  cls.Name,
+				Types: append([]Transaction(nil), cls.Types...),
+			}
+		}
+		c.Classes = classes
+	}
 	return c
 }
 
@@ -240,6 +257,11 @@ func (c ConfigN) Validate() error {
 	if err := checkWindowAligned("duration", c.Duration, c.MonitorPeriod); err != nil {
 		return err
 	}
+	if len(c.Classes) > 0 {
+		if err := validateClasses(c.Classes); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -273,8 +295,26 @@ type ResultN struct {
 
 	// CompletedByType counts transactions completed in the window.
 	CompletedByType [NumTransactions]int64
+	// ThroughputByType[t] and MeanResponseByType[t] are transaction type
+	// t's completion rate and mean end-to-end response in the window
+	// (both zero for types that completed nothing).
+	ThroughputByType   [NumTransactions]float64
+	MeanResponseByType [NumTransactions]float64
 	// Completed is the total transactions completed in the window.
 	Completed int64
+
+	// ClassNames labels the workload classes (Config.Classes order);
+	// ClassThroughput[c] and ClassMeanResponse[c] are class c's completion
+	// rate and mean end-to-end response in the window.
+	ClassNames        []string
+	ClassThroughput   []float64
+	ClassMeanResponse []float64
+	// ClassTierSamples[c][i] is class c's coarse measurement stream at
+	// tier i: per-period completions of the class's transactions plus the
+	// class's share of the tier's utilization, apportioned per period by
+	// consumed nominal demand (so the classes sum to the tier's wall-clock
+	// busy fraction, contention slowdown included).
+	ClassTierSamples [][]trace.UtilizationSamples
 
 	// ContentionFraction[i] is the share of simulated time tier i spent
 	// in a contention epoch.
@@ -311,6 +351,25 @@ type engineN struct {
 	measureStart, measureEnd float64
 	res                      *ResultN
 	responses                []float64
+	respSumByType            [NumTransactions]float64
+
+	// Per-class accounting. classOf maps each transaction type to its
+	// class index; classConsumed[i][c] is the cumulative nominal demand
+	// class c's passes consumed at tier i; classTxnCompl[i][c] counts
+	// class c's transaction-level completions at tier i (last pass closes
+	// the phase, matching the tier monitors); classResponses[c] collects
+	// in-window end-to-end responses. The sampler snapshots the cumulative
+	// counters every monitor period (see sampleClasses).
+	classOf        [NumTransactions]int
+	classConsumed  [][]float64
+	classTxnCompl  [][]int64
+	classResponses [][]float64
+
+	lastTierBusy      []float64
+	lastClassConsumed [][]float64
+	lastClassCompl    [][]int64
+	classUtilSeries   [][][]float64 // [tier][class][period]
+	classComplSeries  [][][]float64
 }
 
 func (e *engineN) inWindow() bool {
@@ -355,12 +414,15 @@ func (e *engineN) issuePass(st *txnStateN) {
 // pass, advance to the next tier, or finish the transaction.
 func (e *engineN) onComplete(tier int, j *des.Job) {
 	st := j.Ctx.(*txnStateN)
+	class := e.classOf[st.txType]
+	e.classConsumed[tier][class] += j.Demand
 	st.passesLeft--
 	if st.passesLeft > 0 {
 		e.issuePass(st)
 		return
 	}
 	e.txnCompl[tier]++
+	e.classTxnCompl[tier][class]++
 	if tier+1 < len(e.stations) {
 		e.enterTier(st, tier+1)
 		return
@@ -370,10 +432,52 @@ func (e *engineN) onComplete(tier int, j *des.Job) {
 	if e.inWindow() {
 		e.res.Completed++
 		e.res.CompletedByType[st.txType]++
-		e.responses = append(e.responses, e.sim.Now()-st.submittedAt)
+		resp := e.sim.Now() - st.submittedAt
+		e.responses = append(e.responses, resp)
+		e.respSumByType[st.txType] += resp
+		e.classResponses[class] = append(e.classResponses[class], resp)
 	}
 	eb := st.eb
 	e.sim.Schedule(e.thinkSrc.Exp(e.cfg.ThinkTime), func() { e.submit(eb) })
+}
+
+// sampleClasses snapshots the per-class cumulative counters at a monitor
+// period boundary, apportioning each tier's wall-clock utilization over
+// the classes by the nominal demand their passes consumed in the period.
+// The split preserves contention inflation: the per-class utilizations
+// always sum to the tier's sampled busy fraction, so pooling the class
+// streams recovers the aggregate stream the single-class pipeline sees.
+func (e *engineN) sampleClasses() {
+	period := e.cfg.MonitorPeriod
+	nc := len(e.cfg.Classes)
+	for i := range e.stations {
+		busy := e.stations[i].BusyTime()
+		tierU := (busy - e.lastTierBusy[i]) / period
+		e.lastTierBusy[i] = busy
+		if tierU < 0 {
+			tierU = 0
+		}
+		if tierU > 1 {
+			tierU = 1
+		}
+		total := 0.0
+		deltas := make([]float64, nc)
+		for c := 0; c < nc; c++ {
+			deltas[c] = e.classConsumed[i][c] - e.lastClassConsumed[i][c]
+			e.lastClassConsumed[i][c] = e.classConsumed[i][c]
+			total += deltas[c]
+		}
+		for c := 0; c < nc; c++ {
+			u := 0.0
+			if total > 0 {
+				u = tierU * deltas[c] / total
+			}
+			e.classUtilSeries[i][c] = append(e.classUtilSeries[i][c], u)
+			e.classComplSeries[i][c] = append(e.classComplSeries[i][c],
+				float64(e.classTxnCompl[i][c]-e.lastClassCompl[i][c]))
+			e.lastClassCompl[i][c] = e.classTxnCompl[i][c]
+		}
+	}
 }
 
 // RunN executes one N-tier testbed experiment. The legacy two-tier Run is
@@ -422,6 +526,25 @@ func RunNCtx(ctx context.Context, cfg ConfigN) (*ResultN, error) {
 	e.measureEnd = cfg.Duration - cfg.Cooldown
 	e.res = &ResultN{Config: cfg, TierNames: names}
 
+	nc := len(cfg.Classes)
+	e.classOf = classOfType(cfg.Classes)
+	e.classConsumed = make([][]float64, k)
+	e.classTxnCompl = make([][]int64, k)
+	e.lastTierBusy = make([]float64, k)
+	e.lastClassConsumed = make([][]float64, k)
+	e.lastClassCompl = make([][]int64, k)
+	e.classUtilSeries = make([][][]float64, k)
+	e.classComplSeries = make([][][]float64, k)
+	for i := 0; i < k; i++ {
+		e.classConsumed[i] = make([]float64, nc)
+		e.classTxnCompl[i] = make([]int64, nc)
+		e.lastClassConsumed[i] = make([]float64, nc)
+		e.lastClassCompl[i] = make([]int64, nc)
+		e.classUtilSeries[i] = make([][]float64, nc)
+		e.classComplSeries[i] = make([][]float64, nc)
+	}
+	e.classResponses = make([][]float64, nc)
+
 	e.stations = make([]*des.PSStation, k)
 	for i := range cfg.Tiers {
 		i := i
@@ -441,6 +564,21 @@ func RunNCtx(ctx context.Context, cfg ConfigN) (*ResultN, error) {
 	for i := range e.stations {
 		view := &tierTransactionView{station: e.stations[i], txnCompletions: &e.txnCompl[i]}
 		mons[i] = monitor.WatchUntil(sim, view, cfg.MonitorPeriod, cfg.Duration)
+	}
+
+	// Class sampler: same tick schedule as the tier monitors (period,
+	// 2*period, ... up to the horizon inclusive), scheduled after them so
+	// each boundary samples the tiers first. Ticks are read-only and draw
+	// no randomness, so adding them leaves run results bit-identical.
+	var classTick func()
+	classTick = func() {
+		e.sampleClasses()
+		if next := sim.Now() + cfg.MonitorPeriod; next <= cfg.Duration {
+			sim.Schedule(cfg.MonitorPeriod, classTick)
+		}
+	}
+	if cfg.MonitorPeriod <= cfg.Duration {
+		sim.Schedule(cfg.MonitorPeriod, classTick)
 	}
 
 	var utilRecs []*monitor.UtilizationRecorder
@@ -497,6 +635,38 @@ func RunNCtx(ctx context.Context, cfg ConfigN) (*ResultN, error) {
 		res.TierSamples[i] = s
 		res.AvgUtil[i] = stats.Mean(s.Utilization)
 		res.ContentionFraction[i] = e.envs[i].contendedFraction(cfg.Duration)
+	}
+	for t := 0; t < NumTransactions; t++ {
+		res.ThroughputByType[t] = float64(res.CompletedByType[t]) / window
+		if n := res.CompletedByType[t]; n > 0 {
+			res.MeanResponseByType[t] = e.respSumByType[t] / float64(n)
+		}
+	}
+	res.ClassNames = make([]string, nc)
+	res.ClassThroughput = make([]float64, nc)
+	res.ClassMeanResponse = make([]float64, nc)
+	res.ClassTierSamples = make([][]trace.UtilizationSamples, nc)
+	for c := 0; c < nc; c++ {
+		res.ClassNames[c] = cfg.Classes[c].Name
+		res.ClassThroughput[c] = float64(len(e.classResponses[c])) / window
+		if len(e.classResponses[c]) > 0 {
+			res.ClassMeanResponse[c] = stats.Mean(e.classResponses[c])
+		}
+		res.ClassTierSamples[c] = make([]trace.UtilizationSamples, k)
+		for i := 0; i < k; i++ {
+			utils := e.classUtilSeries[i][c]
+			counts := e.classComplSeries[i][c]
+			n := len(utils)
+			if trimHead+trimTail >= n {
+				return nil, fmt.Errorf("tpcw: class %s tier %s: cannot trim %d+%d from %d samples",
+					cfg.Classes[c].Name, names[i], trimHead, trimTail, n)
+			}
+			res.ClassTierSamples[c][i] = trace.UtilizationSamples{
+				PeriodSeconds: cfg.MonitorPeriod,
+				Utilization:   append([]float64(nil), utils[trimHead:n-trimTail]...),
+				Completions:   append([]float64(nil), counts[trimHead:n-trimTail]...),
+			}
+		}
 	}
 	if cfg.TrackSeries {
 		res.TierUtil1s = make([][]float64, k)

@@ -41,6 +41,16 @@ type ReplicaResult struct {
 	TierSamples []trace.UtilizationSamples
 	// TierNames labels the per-tier slices.
 	TierNames []string
+
+	// ClassNames labels the workload classes (Config.Classes order).
+	// ClassThroughput[c] and ClassMeanResponse[c] summarize class c's
+	// end-to-end rate and mean response across replicas; ClassTierSamples
+	// [c][i] pools class c's tier-i measurement stream across replicas the
+	// same way TierSamples does.
+	ClassNames        []string
+	ClassThroughput   []stats.Interval
+	ClassMeanResponse []stats.Interval
+	ClassTierSamples  [][]trace.UtilizationSamples
 }
 
 // RunReplicas executes replicas independently seeded copies of cfg across
@@ -158,6 +168,30 @@ func RunReplicasCtx(ctx context.Context, cfg ConfigN, replicas, workers int, pro
 			pooled.Completions = append(pooled.Completions, res.TierSamples[i].Completions...)
 		}
 		rr.TierSamples[i] = pooled
+	}
+	nc := len(results[0].ClassNames)
+	rr.ClassNames = append([]string(nil), results[0].ClassNames...)
+	rr.ClassThroughput = make([]stats.Interval, nc)
+	rr.ClassMeanResponse = make([]stats.Interval, nc)
+	rr.ClassTierSamples = make([][]trace.UtilizationSamples, nc)
+	for c := 0; c < nc; c++ {
+		for r, res := range results {
+			xs[r] = res.ClassThroughput[c]
+		}
+		rr.ClassThroughput[c] = stats.MeanCI95(xs)
+		for r, res := range results {
+			xs[r] = res.ClassMeanResponse[c]
+		}
+		rr.ClassMeanResponse[c] = stats.MeanCI95(xs)
+		rr.ClassTierSamples[c] = make([]trace.UtilizationSamples, k)
+		for i := 0; i < k; i++ {
+			pooled := trace.UtilizationSamples{PeriodSeconds: cfg.MonitorPeriod}
+			for _, res := range results {
+				pooled.Utilization = append(pooled.Utilization, res.ClassTierSamples[c][i].Utilization...)
+				pooled.Completions = append(pooled.Completions, res.ClassTierSamples[c][i].Completions...)
+			}
+			rr.ClassTierSamples[c][i] = pooled
+		}
 	}
 	return rr, nil
 }

@@ -55,6 +55,27 @@ type TierAccuracy struct {
 	Characterization inference.Characterization
 }
 
+// ClassAccuracy compares one workload class's simulated throughput and
+// mean response against the multiclass-MVA prediction at the class's
+// share of the population.
+type ClassAccuracy struct {
+	// Name labels the class; Population is its inferred share of the EBs
+	// (interactive response law N_c = X_c*(R_c+Z) on the measured
+	// per-class throughput and response, largest-remainder rounded so the
+	// shares sum to the operating point's EBs).
+	Name       string
+	Population int
+	// SimThroughput and SimMeanResponse are the simulated per-class
+	// measurements across replicas.
+	SimThroughput   stats.Interval
+	SimMeanResponse stats.Interval
+	// MVAThroughput and MVAResponse are the multiclass-MVA predictions.
+	MVAThroughput, MVAResponse float64
+	// MVAError is the signed relative throughput error against the
+	// simulated mean; ResponseError the same for mean response.
+	MVAError, ResponseError float64
+}
+
 // Report is the outcome of one cross-validation: simulated ground truth
 // with confidence intervals, model predictions, and their errors.
 type Report struct {
@@ -77,6 +98,15 @@ type Report struct {
 
 	// Tiers holds the per-tier utilization comparison.
 	Tiers []TierAccuracy
+	// Classes holds the per-class comparison against multiclass MVA, one
+	// row per workload class of the simulated config (two or more classes
+	// only). ClassMethod records the solve used (core.MulticlassExact or
+	// core.MulticlassApprox). Per-class estimation is fragile for lightly
+	// loaded classes, so any failure sets ClassFallbackReason instead of
+	// failing the whole cross-validation.
+	Classes             []ClassAccuracy
+	ClassMethod         string
+	ClassFallbackReason string
 	// States is the size of the CTMC the MAP model solved.
 	States int
 	// SolverBackend names the generator representation the MAP solve
@@ -164,7 +194,7 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 			return nil, ctx.Err()
 		}
 		if reason, ok := core.SolveFallbackReason(err); ok {
-			return degraded(cfg, rr, z, plan, chars, reason)
+			return degraded(cfg, rr, z, plan, chars, reason, opts)
 		}
 		return nil, fmt.Errorf("validate: model solve: %w", err)
 	}
@@ -198,7 +228,68 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 		ta.MVAError = ta.MVAUtil - ta.SimUtil.Mean
 		rep.Tiers[i] = ta
 	}
+	classColumns(rep, cfg, rr, z, opts)
 	return rep, nil
+}
+
+// classColumns fills the per-class comparison: characterize each class
+// from its pooled per-tier streams, split the operating point's EBs over
+// the classes by their measured behavior, solve multiclass MVA at that
+// split, and report per-class throughput/response errors. Any failure —
+// e.g. a class too lightly loaded to characterize — records a fallback
+// reason instead of failing the row.
+func classColumns(rep *Report, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, opts Options) {
+	if len(rr.ClassNames) < 2 {
+		return
+	}
+	chars, err := inference.CharacterizeClasses(rr.ClassTierSamples, opts.Planner.Inference)
+	if err != nil {
+		rep.ClassFallbackReason = err.Error()
+		return
+	}
+	classes := make([]core.ClassDemands, len(rr.ClassNames))
+	specs := make([]core.ClassSpec, len(rr.ClassNames))
+	for c, name := range rr.ClassNames {
+		d := make([]float64, len(chars[c]))
+		for i, ch := range chars[c] {
+			d[i] = ch.MeanServiceTime
+		}
+		classes[c] = core.ClassDemands{Name: name, Demands: d, ThinkTime: z}
+		specs[c] = core.ClassSpec{
+			Name:   name,
+			Weight: rr.ClassThroughput[c].Mean * (rr.ClassMeanResponse[c].Mean + z),
+		}
+	}
+	pop, err := core.SplitPopulation(specs, cfg.EBs)
+	if err != nil {
+		rep.ClassFallbackReason = err.Error()
+		return
+	}
+	results, err := core.SolveMulticlassSweep(core.MultiNetworkFor(classes), [][]int{pop}, opts.Planner.Solver.Tol)
+	if err != nil {
+		rep.ClassFallbackReason = err.Error()
+		return
+	}
+	res := results[0].Result
+	rep.ClassMethod = results[0].Method
+	rep.Classes = make([]ClassAccuracy, len(rr.ClassNames))
+	for c, name := range rr.ClassNames {
+		ca := ClassAccuracy{
+			Name:            name,
+			Population:      pop[c],
+			SimThroughput:   rr.ClassThroughput[c],
+			SimMeanResponse: rr.ClassMeanResponse[c],
+			MVAThroughput:   res.Throughput[c],
+			MVAResponse:     res.ResponseTime[c],
+		}
+		if ca.SimThroughput.Mean > 0 {
+			ca.MVAError = (ca.MVAThroughput - ca.SimThroughput.Mean) / ca.SimThroughput.Mean
+		}
+		if ca.SimMeanResponse.Mean > 0 {
+			ca.ResponseError = (ca.MVAResponse - ca.SimMeanResponse.Mean) / ca.SimMeanResponse.Mean
+		}
+		rep.Classes[c] = ca
+	}
 }
 
 // degraded builds the fallback report when the exact MAP solve cannot
@@ -206,7 +297,7 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 // have produced and the MVA baseline fills the product-form column, so
 // a cross-validation row still carries usable model output instead of
 // failing the cell.
-func degraded(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.PlanN, chars []inference.Characterization, reason string) (*Report, error) {
+func degraded(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.PlanN, chars []inference.Characterization, reason string, opts Options) (*Report, error) {
 	bounds, err := plan.Bounds([]int{cfg.EBs})
 	if err != nil {
 		return nil, fmt.Errorf("validate: bounds fallback: %w", err)
@@ -239,5 +330,6 @@ func degraded(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.Pl
 		ta.MVAError = ta.MVAUtil - ta.SimUtil.Mean
 		rep.Tiers[i] = ta
 	}
+	classColumns(rep, cfg, rr, z, opts)
 	return rep, nil
 }

@@ -85,6 +85,11 @@ const (
 // into a Scenario.
 func NewScenarioBuilder() *ScenarioBuilder { return core.NewScenarioBuilder() }
 
+// ParseClassList parses the CLI syntax for workload classes
+// ("browsing=3,ordering=1" for mix weights, "browsing:20,ordering:5"
+// for fixed per-class populations, bare names for equal weights).
+func ParseClassList(s string) ([]ClassSpec, error) { return core.ParseClassList(s) }
+
 // ParseScenario decodes a Scenario from JSON, rejecting unknown fields.
 func ParseScenario(data []byte) (Scenario, error) { return core.ParseScenario(data) }
 
@@ -182,6 +187,9 @@ func runScenario(ctx context.Context, sc Scenario, memo *core.Memo, inj stageInj
 	rep := &Report{Scenario: sc, Results: make([]PopulationReport, len(sc.Populations))}
 	for i, n := range sc.Populations {
 		rep.Results[i].Population = n
+	}
+	if sc.Multiclass() {
+		rep.ClassNames = sc.ClassNames()
 	}
 	prog := &progressEmitter{fn: sc.OnProgress}
 	if sc.WantsModel() {
@@ -302,6 +310,12 @@ func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog
 	popts := plannerOptions(sc)
 	popts.TierNames = names
 
+	if sc.Multiclass() {
+		if err := solveMulticlassModel(sc, chars, rep, popts); err != nil {
+			return core.MarkStage(err, StageSolve)
+		}
+	}
+
 	needFit := sc.Wants(SolverMAP) || sc.Wants(SolverBounds)
 	if needFit {
 		if err := fire(inj, StageFit); err != nil {
@@ -400,6 +414,60 @@ func degradeReason(parent context.Context, err error) (string, bool) {
 		return "scenario deadline expired during the exact MAP solve; NetworkBounds reported instead", true
 	}
 	return "", false
+}
+
+// solveMulticlassModel fills the per-population multiclass-MVA column:
+// resolve each class's per-tier demand vector against the characterized
+// tiers, split every population over the classes, and solve exact
+// multiclass MVA (Schweitzer/Bard beyond the tractable lattice). The MAP
+// solver stays single-class — exact multiclass CTMC state spaces explode
+// — so a multiclass scenario requesting "map" gets the aggregated-class
+// MAP solve alongside, with the aggregation recorded in the report.
+func solveMulticlassModel(sc Scenario, chars []Characterization, rep *Report, popts core.PlannerOptions) error {
+	classes, err := core.ResolveClassDemands(sc, chars)
+	if err != nil {
+		return err
+	}
+	pops := make([][]int, len(sc.Populations))
+	for i, n := range sc.Populations {
+		pop, err := core.SplitPopulation(sc.Classes, n)
+		if err != nil {
+			return err
+		}
+		pops[i] = pop
+	}
+	results, err := core.SolveMulticlassSweep(core.MultiNetworkFor(classes), pops, popts.Solver.Tol)
+	if err != nil {
+		return err
+	}
+	if sc.Wants(SolverMAP) {
+		rep.ClassAggregation = "map solver is single-class: its column solves the aggregate per-tier characterizations; per-class predictions come from multiclass MVA"
+	}
+	for i, mr := range results {
+		res := mr.Result
+		mp := &MulticlassPoint{
+			Method:       mr.Method,
+			Classes:      make([]ClassResult, len(classes)),
+			Utilizations: res.Utilizations,
+			QueueLengths: res.QueueLengths,
+		}
+		weighted := 0.0
+		for c := range classes {
+			mp.Classes[c] = ClassResult{
+				Name:         classes[c].Name,
+				Population:   pops[i][c],
+				Throughput:   res.Throughput[c],
+				ResponseTime: res.ResponseTime[c],
+			}
+			mp.Throughput += res.Throughput[c]
+			weighted += res.Throughput[c] * res.ResponseTime[c]
+		}
+		if mp.Throughput > 0 {
+			mp.ResponseTime = weighted / mp.Throughput
+		}
+		rep.Results[i].Multiclass = mp
+	}
+	return nil
 }
 
 // solveMVA fills the per-population MVA column.
@@ -518,7 +586,7 @@ func simConfig(sc Scenario) (TPCWConfigN, error) {
 	if err != nil {
 		return TPCWConfigN{}, err
 	}
-	return TPCWConfigN{
+	cfg := TPCWConfigN{
 		Mix: mix, Tiers: tiers,
 		ThinkTime:       sc.ThinkTime,
 		Duration:        wl.Duration,
@@ -527,7 +595,17 @@ func simConfig(sc Scenario) (TPCWConfigN, error) {
 		MonitorPeriod:   wl.MonitorPeriod,
 		Seed:            wl.Seed,
 		StructureWeight: wl.StructureWeight,
-	}, nil
+	}
+	if sc.Multiclass() {
+		// Order the testbed's classes as the scenario declared them so the
+		// per-class report columns line up with the declaration.
+		classes, err := tpcw.ClassesByName(sc.ClassNames())
+		if err != nil {
+			return TPCWConfigN{}, err
+		}
+		cfg.Classes = classes
+	}
+	return cfg, nil
 }
 
 // mixByName resolves a WorkloadSpec mix name.
@@ -570,7 +648,7 @@ func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *p
 		if err != nil {
 			return core.MarkStage(err, StageSimulate)
 		}
-		rep.Results[i].Sim = simPoint(rr, wl.KeepSamples)
+		rep.Results[i].Sim = simPoint(rr, wl.KeepSamples, sc.Multiclass())
 		if sc.Wants(SolverCrossValidate) {
 			if err := fire(inj, StageValidate); err != nil {
 				return err
@@ -582,7 +660,7 @@ func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *p
 			if err != nil {
 				return core.MarkStage(err, StageValidate)
 			}
-			vp := validationPoint(vrep)
+			vp := validationPoint(vrep, sc.Multiclass())
 			rep.Results[i].Validation = vp
 			if vp.Degraded {
 				rep.Degraded = true
@@ -597,7 +675,10 @@ func runSimulationSolvers(ctx context.Context, sc Scenario, rep *Report, prog *p
 }
 
 // simPoint converts a replica set into the report's ground-truth column.
-func simPoint(rr *TPCWReplicaResult, keepSamples bool) *SimPoint {
+// The per-class columns are filled only for multiclass scenarios: the
+// testbed always measures its default classes, but a single-class
+// scenario's report must stay byte-identical to the pre-class format.
+func simPoint(rr *TPCWReplicaResult, keepSamples, multiclass bool) *SimPoint {
 	sp := &SimPoint{
 		Replicas:         len(rr.Results),
 		Throughput:       rr.Throughput,
@@ -628,12 +709,18 @@ func simPoint(rr *TPCWReplicaResult, keepSamples bool) *SimPoint {
 	if keepSamples {
 		sp.TierSamples = rr.TierSamples
 	}
+	if multiclass {
+		sp.ClassNames = rr.ClassNames
+		sp.ClassThroughput = rr.ClassThroughput
+		sp.ClassMeanResponse = rr.ClassMeanResponse
+	}
 	return sp
 }
 
 // validationPoint converts a cross-validation report into the report's
-// delta column.
-func validationPoint(v *ValidationReport) *ValidationPoint {
+// delta column. Per-class columns are copied only for multiclass
+// scenarios (see simPoint).
+func validationPoint(v *ValidationReport, multiclass bool) *ValidationPoint {
 	vp := &ValidationPoint{
 		SimThroughput:  v.SimThroughput,
 		MAPThroughput:  v.MAPThroughput,
@@ -657,6 +744,24 @@ func validationPoint(v *ValidationReport) *ValidationPoint {
 			MAPError:          t.MAPError,
 			MVAError:          t.MVAError,
 			IndexOfDispersion: t.Characterization.IndexOfDispersion,
+		}
+	}
+	if multiclass {
+		vp.ClassFallbackReason = v.ClassFallbackReason
+		if len(v.Classes) > 0 {
+			vp.Classes = make([]ClassValidation, len(v.Classes))
+			for c, ca := range v.Classes {
+				vp.Classes[c] = ClassValidation{
+					Name:            ca.Name,
+					Population:      ca.Population,
+					SimThroughput:   ca.SimThroughput,
+					SimMeanResponse: ca.SimMeanResponse,
+					MVAThroughput:   ca.MVAThroughput,
+					MVAResponse:     ca.MVAResponse,
+					MVAError:        ca.MVAError,
+					ResponseError:   ca.ResponseError,
+				}
+			}
 		}
 	}
 	return vp
