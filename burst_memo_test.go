@@ -1,0 +1,98 @@
+package burst
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSuiteWritesFooterRow pins the JSONL footer: a completed run
+// appends one trailing row with status "footer" carrying the suite's
+// cell totals and memo counters, and the resume reader ignores it.
+func TestRunSuiteWritesFooterRow(t *testing.T) {
+	s := popSuite()
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+	sink, err := OpenJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSuite(context.Background(), s, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := ReadJSONLRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != rep.Cells+1 {
+		t.Fatalf("file has %d rows, want %d cells + 1 footer", len(rows), rep.Cells)
+	}
+	last := rows[len(rows)-1]
+	if last.Status != CellStatusFooter || last.Footer == nil {
+		t.Fatalf("last row = %+v, want a footer row", last)
+	}
+	if last.Footer.Cells != rep.Cells || last.Footer.Failed != rep.Failed {
+		t.Fatalf("footer totals %+v do not match report (cells=%d failed=%d)", last.Footer, rep.Cells, rep.Failed)
+	}
+	if last.Footer.Memo != rep.Memo {
+		t.Fatalf("footer memo %+v != report memo %+v", last.Footer.Memo, rep.Memo)
+	}
+	if rep.Memo.Hits() == 0 {
+		t.Fatalf("pop-sweep suite recorded no memo hits: %+v", rep.Memo)
+	}
+	for _, row := range rows[:len(rows)-1] {
+		if row.Footer != nil {
+			t.Fatalf("cell row %d carries a footer payload", row.Index)
+		}
+	}
+
+	// The footer must be invisible to resume: all cells done, none
+	// failed, and the footer row itself contributes nothing.
+	st, err := ReadJSONLResume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Done) != rep.Cells || len(st.Failed) != 0 || st.Malformed != 0 {
+		t.Fatalf("resume state %+v, want %d done / 0 failed / 0 malformed", st, rep.Cells)
+	}
+}
+
+// TestRunSuiteWithMemoSharesCacheAcrossRuns pins the service's cache
+// premise: a second run of the same suite against the same memo is
+// all hits, zero misses, and its rows are bit-identical to the first.
+func TestRunSuiteWithMemoSharesCacheAcrossRuns(t *testing.T) {
+	s := popSuite()
+	memo := NewBoundedMemo(1024, 64<<20)
+
+	first, err := RunSuiteWithMemo(context.Background(), s, memo.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Memo.Misses() == 0 || first.Memo.Hits() == 0 {
+		t.Fatalf("cold run memo stats %+v, want both misses and hits", first.Memo)
+	}
+	second, err := RunSuiteWithMemo(context.Background(), s, memo.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Memo.Misses() != 0 {
+		t.Fatalf("warm run recorded %d misses, want 0 (served from shared memo): %+v", second.Memo.Misses(), second.Memo)
+	}
+	if second.Memo.Hits() == 0 {
+		t.Fatalf("warm run recorded no hits: %+v", second.Memo)
+	}
+	for i := range first.Rows {
+		a, err := first.Rows[i].Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := second.Rows[i].Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("cell %d: warm report differs from cold", i)
+		}
+	}
+}

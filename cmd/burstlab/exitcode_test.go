@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	burst "repro"
+	"repro/internal/trace"
+)
+
+// TestPartialFailureExitCode pins the documented exit-code contract: a
+// continue-policy run that records failed cells exits 3 (not 1), with
+// the healthy cells' rows on disk.
+func TestPartialFailureExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "burstlab")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/burstlab")
+	build.Dir = moduleRootBurstlab(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// The db tier's monitoring stream has zero completions, so
+	// characterization fails permanently for every cell.
+	dead := &trace.UtilizationSamples{PeriodSeconds: 5}
+	for k := 0; k < 60; k++ {
+		dead.Utilization = append(dead.Utilization, 0.2)
+		dead.Completions = append(dead.Completions, 0)
+	}
+	suite := burst.Suite{
+		Name: "exit-code",
+		Base: burst.Scenario{
+			ThinkTime: 0.5,
+			Tiers: []burst.TierSpec{
+				{Name: "front", Mean: 0.006, IndexOfDispersion: 3, P95: 0.015},
+				{Name: "db", Samples: dead},
+			},
+			Solvers: []burst.SolverKind{burst.SolverMAP},
+		},
+		Grid: burst.Grid{Populations: [][]int{{5}, {10}}},
+	}
+	data, err := suite.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suitePath := filepath.Join(dir, "suite.json")
+	if err := os.WriteFile(suitePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "rows.jsonl")
+	cmd := exec.Command(bin, "-suite", suitePath, "-out", outPath, "-on-error", "continue", "-quiet")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected a non-zero exit, got err=%v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 3 {
+		t.Fatalf("exit code = %d, want 3 (partial failure)\n%s", code, out)
+	}
+	rows, err := burst.ReadJSONLRows(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var okRows, failedRows int
+	for _, row := range rows {
+		switch row.Status {
+		case burst.CellStatusOK:
+			okRows++
+		case burst.CellStatusFailed:
+			failedRows++
+		}
+	}
+	if okRows != 0 || failedRows != 2 {
+		t.Fatalf("rows ok=%d failed=%d, want 0/2 (both cells share the dead tier)\n%s", okRows, failedRows, out)
+	}
+}
+
+func moduleRootBurstlab(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}

@@ -26,11 +26,23 @@
 // or corrupt trailing lines are skipped with a warning.
 //
 // Failure handling: -on-error continue records failed cells (stage,
-// class, message) in the JSONL rows instead of aborting the sweep, and
-// the command exits non-zero if any cell failed; -retries bounds
-// retries of transient cell errors; -cell-timeout bounds each cell's
-// wall clock (a deadline expiring during the exact MAP solve degrades
-// that cell to NetworkBounds rather than failing it).
+// class, message) in the JSONL rows instead of aborting the sweep;
+// -retries bounds retries of transient cell errors; -cell-timeout
+// bounds each cell's wall clock (a deadline expiring during the exact
+// MAP solve degrades that cell to NetworkBounds rather than failing
+// it). Exit codes: 0 success, 1 hard failure (invalid input, fail-fast
+// cell error, cancellation, I/O), 3 partial failure — a continue-policy
+// run completed but recorded failed cells, whose rows are on disk and
+// retryable with -resume.
+//
+// With -remote host:port the experiment is not executed locally:
+// burstlab submits it to a running burstlabd (see cmd/burstlabd),
+// follows the job's row stream, writes the rows to -out and exits with
+// the same code semantics. -rerun forces a finished job to re-execute
+// against the daemon's warm cache:
+//
+//	burstlab -remote 127.0.0.1:8344 -suite suite.json -out report.jsonl
+//	burstlab -remote 127.0.0.1:8344 -suite suite.json -rerun -quiet
 //
 // Interrupting the run (Ctrl-C / SIGTERM) cancels it cooperatively: the
 // CTMC sweep or simulation in flight stops within one step and the
@@ -39,6 +51,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,11 +63,32 @@ import (
 	burst "repro"
 )
 
+// Exit codes: 0 on success, 1 on any error that stopped the run
+// (invalid input, fail-fast cell failure, cancellation, I/O), and 3
+// when the run completed under -on-error continue but recorded failed
+// cells — every healthy cell's row is on disk, so scripts can distinguish
+// "partial results, retry with -resume" from a hard failure.
+const exitPartialFailure = 3
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "burstlab:", err)
+		var pf partialFailureError
+		if errors.As(err, &pf) {
+			os.Exit(exitPartialFailure)
+		}
 		os.Exit(1)
 	}
+}
+
+// partialFailureError reports a completed continue-policy run with
+// failed cells; main maps it to exit code 3.
+type partialFailureError struct {
+	failed, cells int
+}
+
+func (e partialFailureError) Error() string {
+	return fmt.Sprintf("%d of %d cells failed (rows recorded; re-run with -resume to retry them)", e.failed, e.cells)
 }
 
 func run() error {
@@ -70,6 +104,8 @@ func run() error {
 	retries := flag.Int("retries", -1, "with -suite: max retries of transient cell errors (-1 = the suite file's setting)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell (or per-scenario) deadline; expiry during the exact MAP solve degrades to NetworkBounds (0 = no limit)")
 	classes := flag.String("classes", "", `override the workload classes of the scenario (or suite base): "browsing=3,ordering=1" for mix weights, "browsing:20,ordering:5" for fixed per-class populations`)
+	remote := flag.String("remote", "", "submit to a running burstlabd at this address (host:port or URL) instead of executing locally, follow the job and stream its rows")
+	rerun := flag.Bool("rerun", false, "with -remote: re-execute the job even if the daemon already holds its result (served from the daemon's warm memo)")
 	flag.Parse()
 
 	var classSpecs []burst.ClassSpec
@@ -99,6 +135,18 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *remote != "" {
+		return runRemote(ctx, *remote, *rerun, remoteOptions{
+			scenarioPath: *scenarioPath,
+			suite: suiteOptions{
+				path: *suitePath, outPath: *outPath, backend: *backend,
+				workers: *workers, quiet: *quiet,
+				onError: *onError, retries: *retries, cellTimeout: *cellTimeout,
+				classes: classSpecs,
+			},
+		})
 	}
 
 	if *suitePath != "" {
@@ -260,7 +308,7 @@ func runSuite(ctx context.Context, o suiteOptions) error {
 			rep.Cells-rep.Skipped, o.outPath, rep.Skipped)
 	}
 	if rep.Failed > 0 {
-		return fmt.Errorf("%d of %d cells failed (rows recorded; re-run with -resume to retry them)", rep.Failed, rep.Cells)
+		return partialFailureError{failed: rep.Failed, cells: rep.Cells}
 	}
 	return nil
 }

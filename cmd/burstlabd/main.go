@@ -1,0 +1,123 @@
+// Command burstlabd is the capacity-planning service: a long-running
+// HTTP daemon over the suite engine. Clients POST Scenario or Suite
+// JSON and get back a content-addressed job ID; jobs queue into a
+// bounded admission buffer, execute on a small pool of job workers, and
+// stream result rows (JSON Lines or SSE) as cells finish. All jobs
+// share one process-lifetime, size-bounded stage memo, so repeat
+// what-if queries — the paper's capacity-planning workflow — are served
+// from cache instead of re-paying fit and solve costs.
+//
+// Usage:
+//
+//	burstlabd -spool /var/lib/burstlab/spool
+//	burstlabd -spool spool -addr 127.0.0.1:8344 -jobs 4
+//	burstlabd -spool spool -addr 127.0.0.1:0 -addr-file burstlabd.addr
+//
+// Every job spools its rows to <spool>/<job-id>/rows.jsonl, flushed per
+// cell. The spool is the daemon's only state: on SIGTERM/SIGINT the
+// daemon drains — stops admitting, gives running jobs -drain-timeout to
+// finish, then checkpoints them mid-suite — and a restarted daemon
+// pointed at the same spool recovers finished jobs and resumes
+// interrupted ones by cell content hash, re-running only cells without
+// a completed row. Submitting the identical suite again returns the
+// existing job; with ?rerun=1 it re-executes against the warm memo.
+//
+// Endpoints (see internal/service): POST /api/v1/jobs, GET
+// /api/v1/jobs[/{id}[/rows|/events]], /metrics, /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		spool        = flag.String("spool", "", "spool directory for job state (required)")
+		jobs         = flag.Int("jobs", 2, "concurrently executing jobs")
+		queue        = flag.Int("queue", 16, "admission queue depth (submissions beyond it get 503)")
+		memoEntries  = flag.Int("memo-entries", 4096, "shared memo bound: max cached stage results (<0 unbounded)")
+		memoBytes    = flag.Int64("memo-bytes", 256<<20, "shared memo bound: max estimated cache bytes (<0 unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM before being checkpointed")
+		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, *spool, *jobs, *queue, *memoEntries, *memoBytes, *drainTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "burstlabd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile, spool string, jobs, queue, memoEntries int, memoBytes int64, drainTimeout time.Duration, quiet bool) error {
+	if spool == "" {
+		return errors.New("-spool is required")
+	}
+	logf := log.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	svc, err := service.New(service.Config{
+		SpoolDir:    spool,
+		JobWorkers:  jobs,
+		QueueDepth:  queue,
+		MemoEntries: memoEntries,
+		MemoBytes:   memoBytes,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	logf("burstlabd listening on %s (spool %s, %d job workers, queue %d)", bound, spool, jobs, queue)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logf("signal received, draining (timeout %s)", drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := svc.Close(drainCtx); err != nil {
+		logf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+	}
+	logf("drained, exiting")
+	return nil
+}

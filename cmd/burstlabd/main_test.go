@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	burst "repro"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// killSuite is slow enough (several MAP sweeps) that a SIGKILL lands
+// mid-run, and fully deterministic so resumed rows must match an
+// uninterrupted run bit for bit.
+func killSuite() burst.Suite {
+	return burst.Suite{
+		Name: "kill-restart",
+		Base: burst.Scenario{
+			Name:      "kill-restart",
+			ThinkTime: 0.5,
+			Tiers: []burst.TierSpec{
+				{Name: "front", Mean: 0.006, IndexOfDispersion: 3, P95: 0.015},
+				{Name: "db", Mean: 0.009, IndexOfDispersion: 40, P95: 0.02},
+			},
+			Solvers: []burst.SolverKind{burst.SolverMAP, burst.SolverMVA, burst.SolverBounds},
+		},
+		Grid:    burst.Grid{Populations: [][]int{{20}, {35}, {50}, {65}, {80}, {95}}},
+		Workers: 1,
+	}
+}
+
+// buildBinary compiles a command of this module into dir.
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// startDaemon launches burstlabd and waits for its bound address.
+func startDaemon(t *testing.T, bin, spool, addrFile string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(addrFile)
+	cmd := exec.Command(bin,
+		"-spool", spool,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-jobs", "1",
+		"-drain-timeout", "5s",
+	)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("daemon logs:\n%s", logs.String())
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && strings.TrimSpace(string(data)) != "" {
+			return cmd, strings.TrimSpace(string(data))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote %s\nlogs:\n%s", addrFile, logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func submitSuite(t *testing.T, addr string, s burst.Suite) service.JobStatus {
+	t.Helper()
+	body, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestKillAndRestartResumesJob is the crash-recovery acceptance test:
+// SIGKILL the daemon mid-run, restart it on the same spool, and the job
+// resumes by cell content hash to a row set bit-identical to an
+// uninterrupted run.
+func TestKillAndRestartResumesJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test; skipped in -short")
+	}
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "spool")
+	addrFile := filepath.Join(dir, "addr")
+	bin := buildBinary(t, dir, "repro/cmd/burstlabd", "burstlabd")
+
+	cmd, addr := startDaemon(t, bin, spool, addrFile)
+	suite := killSuite()
+	st := submitSuite(t, addr, suite)
+	rowsPath := filepath.Join(spool, st.ID, "rows.jsonl")
+
+	// Wait for at least one completed cell, then SIGKILL mid-run.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if rs, err := core.ReadJSONLResume(rowsPath); err == nil && len(rs.Done) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no cell completed before kill deadline")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	interrupted, err := core.ReadJSONLResume(rowsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interrupted.Done) == len(mustExpand(t, suite)) {
+		t.Log("job finished before the kill; resume path exercises the all-skipped case")
+	}
+
+	// Restart on the same spool: the job must be recovered and resumed
+	// without resubmission.
+	_, addr2 := startDaemon(t, bin, spool, addrFile)
+	waitDone(t, addr2, st.ID)
+
+	rows, err := core.ReadJSONLRows(rowsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range rows {
+		if row.Status == core.CellStatusOK && row.Report != nil {
+			data, err := json.Marshal(row.Report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := got[row.Hash]; dup {
+				t.Fatalf("cell %s appears twice after resume", row.Hash)
+			}
+			got[row.Hash] = string(data)
+		}
+	}
+
+	ref, err := burst.RunSuite(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref.Rows) {
+		t.Fatalf("resumed job has %d completed cells, want %d", len(got), len(ref.Rows))
+	}
+	for _, row := range ref.Rows {
+		want, err := json.Marshal(row.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[row.Hash] != string(want) {
+			t.Fatalf("cell %s (%s): resumed report differs from uninterrupted run", row.Hash, row.Name)
+		}
+	}
+}
+
+// TestSIGTERMDrainExitsCleanly pins the graceful path end to end: a
+// daemon with an in-flight job exits 0 on SIGTERM within its drain
+// budget and leaves only cleanly parseable spool rows behind.
+func TestSIGTERMDrainExitsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test; skipped in -short")
+	}
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "spool")
+	addrFile := filepath.Join(dir, "addr")
+	bin := buildBinary(t, dir, "repro/cmd/burstlabd", "burstlabd")
+
+	cmd, addr := startDaemon(t, bin, spool, addrFile)
+	st := submitSuite(t, addr, killSuite())
+
+	time.Sleep(300 * time.Millisecond) // let the job get in flight
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit within 60s of SIGTERM")
+	}
+
+	rowsPath := filepath.Join(spool, st.ID, "rows.jsonl")
+	if _, err := os.Stat(rowsPath); err == nil {
+		rs, err := core.ReadJSONLResume(rowsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Malformed != 0 {
+			t.Fatalf("%d torn rows after graceful drain, want 0", rs.Malformed)
+		}
+	}
+}
+
+func mustExpand(t *testing.T, s burst.Suite) []burst.SuiteCell {
+	t.Helper()
+	cells, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func waitDone(t *testing.T, addr, id string) {
+	t.Helper()
+	deadline := time.Now().Add(180 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/api/v1/jobs/%s", addr, id))
+		if err == nil {
+			var st service.JobStatus
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr == nil {
+				switch st.State {
+				case service.JobDone:
+					return
+				case service.JobFailed:
+					t.Fatalf("job failed after restart: %s", st.Error)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish after restart")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Walkthrough: drive the burstlabd capacity-planning service over raw
+# HTTP. Start a daemon first, then point this script at it:
+#
+#	go run ./cmd/burstlabd -spool /tmp/burstlab-spool -addr 127.0.0.1:8344 &
+#	examples/service/walkthrough.sh 127.0.0.1:8344
+#
+# (For scripted use prefer `burstlab -remote 127.0.0.1:8344 -suite ...`,
+# which does the submit/follow/summarize dance for you — this file shows
+# the wire protocol underneath.)
+set -eu
+
+addr="${1:-127.0.0.1:8344}"
+suite="$(dirname "$0")/suite.json"
+
+echo "## 1. Submit the suite. Jobs are content-addressed: the id is the"
+echo "##    SHA-256 of the suite's canonical JSON, so resubmitting the"
+echo "##    same experiment returns the same job instead of re-running it."
+curl -sS -X POST --data-binary @"$suite" "http://$addr/api/v1/jobs"
+echo
+
+id=$(curl -sS -X POST --data-binary @"$suite" "http://$addr/api/v1/jobs" |
+	sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+echo "## job id: $id"
+
+echo "## 2. Follow the row stream. ?follow=1 replays the spooled rows and"
+echo "##    then streams new cells as they finish, ending at the footer"
+echo "##    row (run totals + memo counters) when the job completes."
+curl -sSN "http://$addr/api/v1/jobs/$id/rows?follow=1"
+
+echo "## 3. Final job status (cells done/skipped/failed, per-job memo"
+echo "##    hit/miss counters, timestamps)."
+curl -sS "http://$addr/api/v1/jobs/$id"
+echo
+
+echo "## 4. Daemon-wide metrics: job states, queue depth, and the shared"
+echo "##    process-lifetime cache (hits/misses per stage, evictions,"
+echo "##    resident entries and bytes)."
+curl -sS "http://$addr/metrics"
+
+echo "## 5. Re-run the same job (?rerun=1) — the daemon re-executes it,"
+echo "##    but every characterize/fit/solve is served from the warm"
+echo "##    shared memo; the new footer row shows hits and zero misses."
+curl -sS -X POST --data-binary @"$suite" "http://$addr/api/v1/jobs?rerun=1"
+echo
+curl -sSN "http://$addr/api/v1/jobs/$id/rows?follow=1" | tail -n 1

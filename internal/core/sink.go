@@ -19,7 +19,26 @@ const (
 	CellStatusFailed = "failed"
 	// CellStatusSkipped marks a cell not executed (resume skip set).
 	CellStatusSkipped = "skipped"
+	// CellStatusFooter marks the summary row appended after the last
+	// cell of a completed run: no cell identity, just suite totals and
+	// memo cache counters. Resume readers ignore it (no report, not
+	// "failed"), so its presence also marks the file as complete.
+	CellStatusFooter = "footer"
 )
+
+// SuiteFooter is the payload of a footer row: the run's cell totals
+// plus the memo cache traffic recorded for it. A resumed run appends a
+// fresh footer describing the combined file.
+type SuiteFooter struct {
+	// Cells is the expanded cell count of the run that wrote the footer.
+	Cells int `json:"cells"`
+	// Skipped counts cells not executed (resume).
+	Skipped int `json:"skipped,omitempty"`
+	// Failed counts cells recorded as failed under the continue policy.
+	Failed int `json:"failed,omitempty"`
+	// Memo holds the run's stage-cache counters.
+	Memo MemoStats `json:"memo"`
+}
 
 // SuiteRow is one finished cell as streamed to sinks and collected into
 // the SuiteReport: the cell's identity (grid coordinates, content hash)
@@ -47,6 +66,9 @@ type SuiteRow struct {
 	// Report is the cell's full scenario report (nil when skipped or
 	// failed).
 	Report *Report `json:"report,omitempty"`
+	// Footer carries the run summary on the trailing footer row; nil on
+	// cell rows.
+	Footer *SuiteFooter `json:"footer,omitempty"`
 }
 
 // ReportSink consumes suite rows as cells finish. The engine serializes

@@ -49,6 +49,13 @@ type Suite struct {
 	// OnProgress, when non-nil, observes suite execution. Calls are
 	// serialized. Never serialized to JSON.
 	OnProgress SuiteProgressFunc `json:"-"`
+	// FooterStats, when non-nil, is called once after the last cell of a
+	// successfully completed run; its MemoStats are written to the sinks
+	// as a trailing footer row (status "footer") together with the
+	// run's cell totals. Aborted runs write no footer, so a footer's
+	// presence marks a JSONL file as complete. The facade binds this to
+	// the run's memo. Never serialized.
+	FooterStats func() MemoStats `json:"-"`
 }
 
 // SuiteEvent is one progress notification from a running suite.
@@ -369,6 +376,18 @@ func RunSuite(ctx context.Context, suite Suite, runner CellRunner, sinks ...Repo
 	close(jobs)
 	wg.Wait()
 
+	if suite.FooterStats != nil && firstErr == nil {
+		footer := SuiteRow{
+			Index:  len(cells),
+			Status: CellStatusFooter,
+			Footer: &SuiteFooter{Cells: rep.Cells, Skipped: rep.Skipped, Failed: rep.Failed, Memo: suite.FooterStats()},
+		}
+		for _, s := range sinks {
+			if err := s.Write(footer); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
 	if cerr := closeSinks(sinks); cerr != nil && firstErr == nil {
 		firstErr = cerr
 	}

@@ -1,0 +1,88 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the capacity-planning service. Builds
+# burstlab and burstlabd, starts a daemon on an ephemeral port, submits
+# the committed examples/service suite through `burstlab -remote`
+# (cold, then again with -rerun against the warm shared memo), runs the
+# same suite as a local batch job, and requires the three row sets to be
+# bit-identical cell for cell. Finishes by SIGTERM-ing the daemon and
+# requiring a clean (exit 0) drain. CI runs this via `make serve-smoke`.
+set -eu
+
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill "$daemon_pid" 2>/dev/null || true
+		wait "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+suite="examples/service/suite.json"
+
+echo "serve-smoke: building burstlab and burstlabd"
+go build -o "$tmp/burstlab" ./cmd/burstlab
+go build -o "$tmp/burstlabd" ./cmd/burstlabd
+
+echo "serve-smoke: starting daemon"
+"$tmp/burstlabd" -spool "$tmp/spool" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+	>"$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 200 ]; then
+		echo "serve-smoke: daemon never published its address" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	if ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "serve-smoke: daemon exited before binding" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+addr="$(cat "$tmp/addr")"
+
+echo "serve-smoke: submitting $suite to $addr (cold)"
+"$tmp/burstlab" -remote "$addr" -suite "$suite" -out "$tmp/remote.jsonl" -quiet
+
+echo "serve-smoke: resubmitting with -rerun (served from the shared memo)"
+"$tmp/burstlab" -remote "$addr" -rerun -suite "$suite" -out "$tmp/rerun.jsonl" -quiet
+
+echo "serve-smoke: local batch reference run"
+"$tmp/burstlab" -suite "$suite" -out "$tmp/batch.jsonl" -quiet >/dev/null
+
+# Cell rows must be bit-identical across all three runs regardless of
+# completion order (sort normalizes it). The trailing footer row is
+# checked for presence only: its memo counters legitimately differ
+# between a cold batch run and a warm daemon.
+for f in remote rerun batch; do
+	if ! grep -q '"status":"footer"' "$tmp/$f.jsonl"; then
+		echo "serve-smoke: $f.jsonl has no footer row (incomplete run?)" >&2
+		exit 1
+	fi
+	grep -v '"status":"footer"' "$tmp/$f.jsonl" | sort >"$tmp/$f.cells"
+done
+if ! diff -u "$tmp/batch.cells" "$tmp/remote.cells"; then
+	echo "serve-smoke: daemon rows differ from the batch run" >&2
+	exit 1
+fi
+if ! diff -u "$tmp/batch.cells" "$tmp/rerun.cells"; then
+	echo "serve-smoke: memo-served rerun rows differ from the batch run" >&2
+	exit 1
+fi
+
+echo "serve-smoke: draining daemon with SIGTERM"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+	echo "serve-smoke: daemon exited non-zero after SIGTERM" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+fi
+daemon_pid=""
+
+echo "serve-smoke: OK"

@@ -42,6 +42,12 @@ type (
 	JSONLSink = core.JSONLSink
 	// MemoStats counts suite stage-cache traffic.
 	MemoStats = core.MemoStats
+	// Memo is the shared stage cache (characterize/fit/solve). Create
+	// one with NewMemo or NewBoundedMemo to share it across suite runs;
+	// RunSuite manages a per-run memo automatically.
+	Memo = core.Memo
+	// SuiteFooter is the summary payload of a trailing JSONL footer row.
+	SuiteFooter = core.SuiteFooter
 	// CellRunner executes one expanded cell (see core.RunSuite).
 	CellRunner = core.CellRunner
 
@@ -88,7 +94,19 @@ const (
 	CellStatusOK      = core.CellStatusOK
 	CellStatusFailed  = core.CellStatusFailed
 	CellStatusSkipped = core.CellStatusSkipped
+	CellStatusFooter  = core.CellStatusFooter
 )
+
+// NewMemo returns an unbounded stage cache for sharing across runs.
+func NewMemo() *Memo { return core.NewMemo() }
+
+// NewBoundedMemo returns a stage cache bounded to maxEntries completed
+// entries and maxBytes estimated total size (0 disables either bound),
+// with least-recently-used eviction — the process-lifetime configuration
+// a long-running service shares across jobs.
+func NewBoundedMemo(maxEntries int, maxBytes int64) *Memo {
+	return core.NewBoundedMemo(maxEntries, maxBytes)
+}
 
 // MarkTransient wraps an error as transient so the suite engine retries
 // it within the retry budget.
@@ -117,6 +135,10 @@ func OpenJSONLSink(path string) (*JSONLSink, error) { return core.OpenJSONLSink(
 // AppendJSONLSink opens a JSONL report file for resuming: existing rows
 // stay, new cells append after them.
 func AppendJSONLSink(path string) (*JSONLSink, error) { return core.AppendJSONLSink(path) }
+
+// ReadJSONLRows parses a JSONL report file back into rows, in file
+// order, skipping unparseable lines.
+func ReadJSONLRows(path string) ([]SuiteRow, error) { return core.ReadJSONLRows(path) }
 
 // ReadJSONLHashes returns the content hashes of completed rows in a
 // JSONL report file — the skip set for resuming a suite. Failed rows
@@ -148,7 +170,28 @@ func ReadJSONLResume(path string) (ResumeState, error) { return core.ReadJSONLRe
 // called before every pipeline stage of every cell — the deterministic
 // fault-injection point. Sinks are closed before RunSuite returns.
 func RunSuite(ctx context.Context, suite Suite, sinks ...ReportSink) (*SuiteReport, error) {
-	memo := core.NewMemo()
+	return RunSuiteWithMemo(ctx, suite, nil, sinks...)
+}
+
+// RunSuiteWithMemo is RunSuite against a caller-provided stage memo —
+// the sharing point for long-running processes: burstlabd passes each
+// job a View of its process-lifetime bounded memo, so repeat what-if
+// queries hit the cache across jobs while per-job hit/miss counters
+// stay meaningful. A nil memo behaves exactly like RunSuite (a fresh
+// unbounded memo per call).
+//
+// The returned report's Memo field and the trailing JSONL footer row
+// (written to the sinks on successful completion, unless
+// suite.FooterStats is already set) carry the handle's counters: hits,
+// misses and evictions observed through this run plus the shared
+// cache's resident entry/byte footprint.
+func RunSuiteWithMemo(ctx context.Context, suite Suite, memo *Memo, sinks ...ReportSink) (*SuiteReport, error) {
+	if memo == nil {
+		memo = core.NewMemo()
+	}
+	if suite.FooterStats == nil {
+		suite.FooterStats = memo.Stats
+	}
 	// Cells inherit the base scenario's OnProgress; concurrent cells
 	// would otherwise invoke it in parallel, so serialize it suite-wide.
 	var progMu sync.Mutex
