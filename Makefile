@@ -28,8 +28,11 @@ test:
 # Short-guarded heavy tests (K=3 cross-validation, large solver cases)
 # whose numeric kernels are 10-20x slower under instrumentation — the
 # race-relevant parallelism is covered by the replica and SpMV tests.
+# The explicit -timeout gives internal/mapqn headroom: its matrix-free
+# equivalence tests alone run ~10x slower under the race detector and
+# can brush Go's default 10m per-package limit on slower machines.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 30m ./...
 
 # faults runs the deterministic fault-injection suite under the race
 # detector: every failure policy (fail-fast, continue, retry-with-
@@ -76,7 +79,7 @@ serve-smoke:
 # separate invocation because their single-run timings swing ~2x with
 # scheduler noise, which would make the benchgate flaky.
 bench:
-	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite|ServiceRepeatQuery' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='SolveThreeTier|SolveDecomp|Solver|RunSuite|ServiceRepeatQuery' -benchmem -benchtime=1x . > .bench_root.txt
 	$(GO) test -run=NONE -bench='MulticlassMVA' -benchmem -benchtime=50x . >> .bench_root.txt
 	$(GO) test -run=NONE -bench='GeneratorAssembly|GeneratorBackends' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
 	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > BENCH_solver.json
@@ -84,11 +87,11 @@ bench:
 	cat BENCH_solver.json
 
 # benchgate is the perf-regression gate: re-run the bench suite into a
-# scratch document and fail if any benchmark's ns/op regressed more
-# than 25% against the committed BENCH_solver.json. CI runs this on
-# every push; run it locally before optimization PRs.
+# scratch document and fail if any benchmark's ns/op or B/op regressed
+# more than 25% against the committed BENCH_solver.json. CI runs this
+# on every push; run it locally before optimization PRs.
 benchgate:
-	$(GO) test -run=NONE -bench='SolveThreeTier|Solver|RunSuite|ServiceRepeatQuery' -benchmem -benchtime=1x . > .bench_root.txt
+	$(GO) test -run=NONE -bench='SolveThreeTier|SolveDecomp|Solver|RunSuite|ServiceRepeatQuery' -benchmem -benchtime=1x . > .bench_root.txt
 	$(GO) test -run=NONE -bench='MulticlassMVA' -benchmem -benchtime=50x . >> .bench_root.txt
 	$(GO) test -run=NONE -bench='GeneratorAssembly|GeneratorBackends' -benchmem ./internal/mapqn/ > .bench_mapqn.txt
 	cat .bench_root.txt .bench_mapqn.txt | $(GO) run ./cmd/benchjson > .bench_fresh.json

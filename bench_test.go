@@ -85,6 +85,79 @@ func BenchmarkSolveThreeTier(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveDecomp tracks the near-decomposable approximate solver
+// on chains the exact CTMC cannot touch: K=4 and K=6 bursty networks at
+// N=200, where the exact product state space would run to billions of
+// states. Each per-station chain is O(N*phases) states, so the decomp
+// tier turns the exponential K-dependence into a linear one; the
+// reported metrics expose the aggregate throughput, the summed chain
+// states, and the outer fixed-point iteration count.
+func BenchmarkSolveDecomp(b *testing.B) {
+	front, err := FitMAP2(0.004, 40, 0.02, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := FitMAP2(0.006, 120, 0.04, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := FitMAP2(0.003, 25, 0.01, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb, err := FitMAP2(0.002, 4, 0.008, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := FitMAP2(0.0025, 10, 0.009, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	search, err := FitMAP2(0.005, 60, 0.03, FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	four := []Station{
+		{Name: "lb", MAP: lb.MAP},
+		{Name: "front", MAP: front.MAP},
+		{Name: "app", MAP: app.MAP},
+		{Name: "db", MAP: db.MAP},
+	}
+	six := []Station{
+		{Name: "lb", MAP: lb.MAP},
+		{Name: "front", MAP: front.MAP},
+		{Name: "cache", MAP: cache.MAP},
+		{Name: "app", MAP: app.MAP},
+		{Name: "search", MAP: search.MAP},
+		{Name: "db", MAP: db.MAP},
+	}
+	for _, c := range []struct {
+		name     string
+		stations []Station
+	}{
+		{"K=4/N=200", four},
+		{"K=6/N=200", six},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var met MAPNetworkMetricsN
+			for i := 0; i < b.N; i++ {
+				m, err := SolveNetworkDecomp(context.Background(), MAPNetworkModelN{
+					Stations:  c.stations,
+					ThinkTime: 0.5,
+					Customers: 200,
+				}, DecompOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				met = m
+			}
+			b.ReportMetric(met.Throughput, "X")
+			b.ReportMetric(float64(met.States), "states")
+			b.ReportMetric(float64(met.SolverIterations), "iterations")
+		})
+	}
+}
+
 // BenchmarkSolverSweep tracks the cost of a population sweep of the
 // K=3 CTMC — the shape of every what-if curve in the paper (Figs. 4,
 // 10-12): warm runs the production warm-started path, cold re-solves

@@ -134,6 +134,9 @@ type (
 	SolverOptions = ctmc.Options
 	// SolverBackend selects the CTMC generator representation.
 	SolverBackend = ctmc.Backend
+	// DecompOptions tunes the approximate decomposition solver's fixed
+	// point (SolverDecomp / SolveNetworkDecomp).
+	DecompOptions = mapqn.DecompOptions
 
 	// MVANetwork is the classical product-form baseline.
 	MVANetwork = mva.Network

@@ -239,8 +239,9 @@ func TestFaultPanicMidSuite(t *testing.T) {
 
 // TestFaultDeadlineDegradesSolve delays the solve stage past the cell's
 // Scenario.Deadline: the cell must not fail — its exact MAP solve
-// degrades to NetworkBounds with the reason recorded — while untouched
-// cells keep their exact results.
+// degrades to the decomp approximation (solved under the still-live
+// parent context) with the reason recorded — while untouched cells keep
+// their exact results.
 func TestFaultDeadlineDegradesSolve(t *testing.T) {
 	s := faultSuite()
 	// The deadline applies to every cell, so keep the grid to small
@@ -268,12 +269,16 @@ func TestFaultDeadlineDegradesSolve(t *testing.T) {
 		}
 		r := row.Report
 		if row.Hash == target {
-			if !r.Degraded || !strings.Contains(r.FallbackReason, "deadline") {
+			if !r.Degraded || !strings.Contains(r.FallbackReason, "deadline") ||
+				!strings.Contains(r.FallbackReason, "decomp approximation reported instead") {
 				t.Fatalf("degraded report = Degraded=%v reason=%q", r.Degraded, r.FallbackReason)
 			}
 			for _, res := range r.Results {
 				if res.MAP != nil {
 					t.Fatal("degraded cell must not carry exact MAP results")
+				}
+				if res.Decomp == nil || res.Decomp.Throughput <= 0 {
+					t.Fatalf("degraded cell missing the decomp approximation: %+v", res)
 				}
 				if res.Bounds == nil || res.Bounds.UpperX <= 0 {
 					t.Fatalf("degraded cell missing bounds: %+v", res)
@@ -297,8 +302,9 @@ func TestFaultDeadlineDegradesSolve(t *testing.T) {
 
 // TestFaultNonConvergenceDegrades starves the iterative CTMC solver
 // (one sweep, no dense fallback) so the exact MAP solve cannot
-// converge: Run must return a degraded report with NetworkBounds and
-// the MVA baseline instead of an error.
+// converge: Run must return a degraded report carrying the decomp
+// approximation, the requested bounds, and the MVA baseline instead of
+// an error.
 func TestFaultNonConvergenceDegrades(t *testing.T) {
 	sc := modelScenario()
 	sc.Planner = &PlannerOptions{Solver: ctmc.Options{MaxIter: 1, DenseCutoff: 1}}
@@ -306,12 +312,16 @@ func TestFaultNonConvergenceDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatalf("non-convergence must degrade, not fail: %v", err)
 	}
-	if !rep.Degraded || !strings.Contains(rep.FallbackReason, "converge") {
+	if !rep.Degraded || !strings.Contains(rep.FallbackReason, "converge") ||
+		!strings.Contains(rep.FallbackReason, "decomp approximation reported instead") {
 		t.Fatalf("Degraded=%v reason=%q", rep.Degraded, rep.FallbackReason)
 	}
 	for _, res := range rep.Results {
 		if res.MAP != nil {
 			t.Fatal("degraded report must not carry exact MAP results")
+		}
+		if res.Decomp == nil || res.Decomp.Throughput <= 0 {
+			t.Fatalf("degraded report missing the decomp approximation: %+v", res)
 		}
 		if res.Bounds == nil || res.MVA == nil {
 			t.Fatalf("degraded report missing fallback columns: %+v", res)
@@ -324,7 +334,8 @@ func TestFaultNonConvergenceDegrades(t *testing.T) {
 
 // TestFaultStateLimitDegrades caps the state space below the model's
 // size: the builder's clean refusal (ErrStateLimit) degrades the report
-// to NetworkBounds instead of failing the scenario.
+// to the decomp approximation — whose per-station chains have no state
+// limit — instead of failing the scenario.
 func TestFaultStateLimitDegrades(t *testing.T) {
 	sc := modelScenario()
 	sc.Planner = &PlannerOptions{Solver: ctmc.Options{MaxStates: 4}}
@@ -336,6 +347,9 @@ func TestFaultStateLimitDegrades(t *testing.T) {
 		t.Fatalf("Degraded=%v reason=%q", rep.Degraded, rep.FallbackReason)
 	}
 	for _, res := range rep.Results {
+		if res.Decomp == nil {
+			t.Fatalf("missing decomp fallback: %+v", res)
+		}
 		if res.Bounds == nil {
 			t.Fatalf("missing bounds fallback: %+v", res)
 		}

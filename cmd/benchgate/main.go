@@ -1,14 +1,19 @@
 // Command benchgate compares a fresh benchmark run against the committed
 // baseline (BENCH_solver.json) and fails when any shared benchmark's
-// ns/op regressed beyond the allowed factor — the repository's
-// performance-regression gate (`make benchgate`).
+// ns/op or B/op regressed beyond the allowed factor — the repository's
+// performance-regression gate (`make benchgate`). Gating allocations
+// alongside time catches a class of regressions ns/op hides on fast
+// paths: an accidental per-iteration allocation that the benchmark's
+// noise floor absorbs but that dominates under production GC pressure.
 //
 //	benchgate -baseline BENCH_solver.json -fresh fresh.json
-//	benchgate -baseline BENCH_solver.json -fresh fresh.json -threshold 0.25
+//	benchgate -baseline BENCH_solver.json -fresh fresh.json -threshold 0.25 -mem-threshold 0.25
 //
 // Both inputs are benchjson documents. Benchmarks present in only one
 // file are reported but never fail the gate (new benchmarks land before
-// their baseline row does; retired ones disappear from fresh runs).
+// their baseline row does; retired ones disappear from fresh runs), and
+// benchmarks whose baseline lacks a metric — or reports it as zero, as
+// allocation-free code does — are skipped for that metric.
 // Improvements are reported alongside regressions so the gate's output
 // doubles as a quick perf diff.
 package main
@@ -45,6 +50,7 @@ func run() error {
 	baselinePath := flag.String("baseline", "BENCH_solver.json", "committed benchjson baseline")
 	freshPath := flag.String("fresh", "", "benchjson document of the fresh run to gate")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op regression (0.25 = fail beyond +25%)")
+	memThreshold := flag.Float64("mem-threshold", 0.25, "allowed fractional B/op regression (0.25 = fail beyond +25%)")
 	flag.Parse()
 
 	if *freshPath == "" {
@@ -52,6 +58,9 @@ func run() error {
 	}
 	if *threshold < 0 {
 		return fmt.Errorf("-threshold %v must be >= 0", *threshold)
+	}
+	if *memThreshold < 0 {
+		return fmt.Errorf("-mem-threshold %v must be >= 0", *memThreshold)
 	}
 	baseline, err := load(*baselinePath)
 	if err != nil {
@@ -62,42 +71,55 @@ func run() error {
 		return err
 	}
 
-	base := indexNsOp(baseline)
-	cur := indexNsOp(fresh)
-	names := make([]string, 0, len(base))
-	for name := range base {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	var failed, compared int
+	for _, gate := range []struct {
+		metric    string
+		threshold float64
+	}{
+		{"ns/op", *threshold},
+		{"B/op", *memThreshold},
+	} {
+		base := indexMetric(baseline, gate.metric)
+		cur := indexMetric(fresh, gate.metric)
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 
-	var failed int
-	for _, name := range names {
-		b := base[name]
-		f, ok := cur[name]
-		if !ok {
-			fmt.Printf("  ~ %-48s not in fresh run (skipped)\n", name)
-			continue
+		for _, name := range names {
+			b := base[name]
+			f, ok := cur[name]
+			if !ok {
+				fmt.Printf("  ~ %-48s not in fresh run (skipped)\n", name)
+				continue
+			}
+			compared++
+			ratio := f / b
+			switch {
+			case ratio > 1+gate.threshold:
+				failed++
+				fmt.Printf("FAIL %-48s %12.0f -> %12.0f %s (%+.1f%% > +%.0f%% allowed)\n",
+					name, b, f, gate.metric, 100*(ratio-1), 100*gate.threshold)
+			default:
+				fmt.Printf("  ok %-48s %12.0f -> %12.0f %s (%+.1f%%)\n",
+					name, b, f, gate.metric, 100*(ratio-1))
+			}
 		}
-		ratio := f / b
-		switch {
-		case ratio > 1+*threshold:
-			failed++
-			fmt.Printf("FAIL %-48s %12.0f -> %12.0f ns/op (%+.1f%% > +%.0f%% allowed)\n",
-				name, b, f, 100*(ratio-1), 100**threshold)
-		default:
-			fmt.Printf("  ok %-48s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
-				name, b, f, 100*(ratio-1))
-		}
-	}
-	for name := range cur {
-		if _, ok := base[name]; !ok {
-			fmt.Printf("  + %-48s new benchmark (no baseline; skipped)\n", name)
+		if gate.metric == "ns/op" {
+			for name := range cur {
+				if _, ok := base[name]; !ok {
+					fmt.Printf("  + %-48s new benchmark (no baseline; skipped)\n", name)
+				}
+			}
 		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond +%.0f%% ns/op", failed, 100**threshold)
+		return fmt.Errorf("%d benchmark metric(s) regressed beyond the allowed factor (+%.0f%% ns/op, +%.0f%% B/op)",
+			failed, 100**threshold, 100**memThreshold)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within +%.0f%% of baseline\n", len(names), 100**threshold)
+	fmt.Printf("benchgate: %d benchmark metric(s) within +%.0f%% ns/op / +%.0f%% B/op of baseline\n",
+		compared, 100**threshold, 100**memThreshold)
 	return nil
 }
 
@@ -117,13 +139,15 @@ func load(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// indexNsOp maps benchmark name to its ns/op metric, skipping rows
-// without one (benchjson archives custom-metric-only rows too).
-func indexNsOp(rep *Report) map[string]float64 {
+// indexMetric maps benchmark name to one metric's value, skipping rows
+// without it and rows reporting zero (benchjson archives
+// custom-metric-only rows too, and a zero baseline — e.g. B/op of
+// allocation-free code — admits no meaningful regression ratio).
+func indexMetric(rep *Report, metric string) map[string]float64 {
 	idx := make(map[string]float64, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
-		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
-			idx[b.Name] = ns
+		if v, ok := b.Metrics[metric]; ok && v > 0 {
+			idx[b.Name] = v
 		}
 	}
 	return idx

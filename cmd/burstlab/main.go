@@ -29,8 +29,9 @@
 // class, message) in the JSONL rows instead of aborting the sweep;
 // -retries bounds retries of transient cell errors; -cell-timeout
 // bounds each cell's wall clock (a deadline expiring during the exact
-// MAP solve degrades that cell to NetworkBounds rather than failing
-// it). Exit codes: 0 success, 1 hard failure (invalid input, fail-fast
+// MAP solve degrades that cell to the decomp approximation — or
+// NetworkBounds when that also fails — rather than failing it). Exit
+// codes: 0 success, 1 hard failure (invalid input, fail-fast
 // cell error, cancellation, I/O), 3 partial failure — a continue-policy
 // run completed but recorded failed cells, whose rows are on disk and
 // retryable with -resume.
@@ -102,7 +103,7 @@ func run() error {
 	backend := flag.String("backend", "", "CTMC generator backend: csr or matrix-free (empty = auto-select by state count); overrides the scenario's solver options")
 	onError := flag.String("on-error", "", "with -suite: failure policy, fail-fast or continue (empty = the suite file's setting)")
 	retries := flag.Int("retries", -1, "with -suite: max retries of transient cell errors (-1 = the suite file's setting)")
-	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell (or per-scenario) deadline; expiry during the exact MAP solve degrades to NetworkBounds (0 = no limit)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell (or per-scenario) deadline; expiry during the exact MAP solve degrades to the decomp approximation, then NetworkBounds (0 = no limit)")
 	classes := flag.String("classes", "", `override the workload classes of the scenario (or suite base): "browsing=3,ordering=1" for mix weights, "browsing:20,ordering:5" for fixed per-class populations`)
 	remote := flag.String("remote", "", "submit to a running burstlabd at this address (host:port or URL) instead of executing locally, follow the job and stream its rows")
 	rerun := flag.Bool("rerun", false, "with -remote: re-execute the job even if the daemon already holds its result (served from the daemon's warm memo)")
@@ -327,11 +328,11 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 	}
 	fmt.Printf("%s: %d cells (%d skipped%s) in %.1fs\n", name, rep.Cells, rep.Skipped, extra, elapsed.Seconds())
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "cell\tN\tMAP X\tMVA X\tbounds\tsim X\tMAP err")
+	fmt.Fprintln(w, "cell\tN\tMAP X\tdecomp X\tMVA X\tbounds\tsim X\tMAP err")
 	degraded := 0
 	for _, row := range rep.Rows {
 		if row.Skipped {
-			fmt.Fprintf(w, "%s\t(skipped)\t\t\t\t\t\n", cellLabel(row))
+			fmt.Fprintf(w, "%s\t(skipped)\t\t\t\t\t\t\n", cellLabel(row))
 			continue
 		}
 		if row.Error != nil || row.Report == nil {
@@ -339,7 +340,7 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 			if row.Error != nil {
 				detail = fmt.Sprintf("%s stage, %s: %s", row.Error.Stage, row.Error.Class, row.Error.Message)
 			}
-			fmt.Fprintf(w, "%s\t(FAILED: %s)\t\t\t\t\t\n", cellLabel(row), detail)
+			fmt.Fprintf(w, "%s\t(FAILED: %s)\t\t\t\t\t\t\n", cellLabel(row), detail)
 			continue
 		}
 		label := cellLabel(row)
@@ -350,6 +351,7 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 		for _, r := range row.Report.Results {
 			cols := fmt.Sprintf("%s\t%d", label, r.Population)
 			cols += colF(r.MAP != nil, func() float64 { return r.MAP.Throughput })
+			cols += colF(r.Decomp != nil, func() float64 { return r.Decomp.Throughput })
 			cols += colF(r.MVA != nil, func() float64 { return r.MVA.Throughput })
 			if r.Bounds != nil {
 				cols += fmt.Sprintf("\t%.2f-%.2f", r.Bounds.LowerX, r.Bounds.UpperX)
@@ -367,7 +369,7 @@ func printSuiteSummary(rep *burst.SuiteReport, elapsed time.Duration) {
 	}
 	w.Flush()
 	if degraded > 0 {
-		fmt.Printf("* %d cell(s) degraded: exact MAP solve replaced by NetworkBounds (see fallback_reason in the rows)\n", degraded)
+		fmt.Printf("* %d cell(s) degraded: exact MAP solve replaced by the decomp approximation or NetworkBounds (see fallback_reason in the rows)\n", degraded)
 	}
 	backend, peak := "", 0
 	for _, row := range rep.Rows {
@@ -512,6 +514,12 @@ func printSummary(rep *burst.Report, elapsed time.Duration) {
 	if first.MAP != nil {
 		header += "\tMAP X\tMAP R(s)"
 	}
+	if first.Decomp != nil {
+		header += "\tdecomp X\tdecomp R(s)"
+	}
+	if first.MAP != nil && first.Decomp != nil {
+		header += "\tdecomp err"
+	}
 	if first.MVA != nil {
 		header += "\tMVA X\tMVA R(s)"
 	}
@@ -529,6 +537,12 @@ func printSummary(rep *burst.Report, elapsed time.Duration) {
 		row := fmt.Sprintf("%d", r.Population)
 		if r.MAP != nil {
 			row += fmt.Sprintf("\t%.2f\t%.4f", r.MAP.Throughput, r.MAP.ResponseTime)
+		}
+		if r.Decomp != nil {
+			row += fmt.Sprintf("\t%.2f\t%.4f", r.Decomp.Throughput, r.Decomp.ResponseTime)
+		}
+		if r.MAP != nil && r.Decomp != nil {
+			row += fmt.Sprintf("\t%.2f%%", 100*r.DecompError)
 		}
 		if r.MVA != nil {
 			row += fmt.Sprintf("\t%.2f\t%.4f", r.MVA.Throughput, r.MVA.ResponseTime)

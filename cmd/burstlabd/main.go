@@ -23,7 +23,11 @@
 // existing job; with ?rerun=1 it re-executes against the warm memo.
 //
 // Endpoints (see internal/service): POST /api/v1/jobs, GET
-// /api/v1/jobs[/{id}[/rows|/events]], /metrics, /healthz.
+// /api/v1/jobs[/{id}[/rows|/events]], /metrics, /healthz. With -pprof
+// the daemon additionally serves Go's runtime profiles under
+// /debug/pprof/ (CPU, heap, goroutine, ...) for profiling solver and
+// service hot paths in place; the endpoints are off by default because
+// they expose process internals and a CPU profile costs real cycles.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,15 +58,16 @@ func main() {
 		memoBytes    = flag.Int64("memo-bytes", 256<<20, "shared memo bound: max estimated cache bytes (<0 unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM before being checkpointed")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+		pprofOn      = flag.Bool("pprof", false, "serve Go runtime profiles at /debug/pprof/ (off by default; exposes process internals)")
 	)
 	flag.Parse()
-	if err := run(*addr, *addrFile, *spool, *jobs, *queue, *memoEntries, *memoBytes, *drainTimeout, *quiet); err != nil {
+	if err := run(*addr, *addrFile, *spool, *jobs, *queue, *memoEntries, *memoBytes, *drainTimeout, *quiet, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "burstlabd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile, spool string, jobs, queue, memoEntries int, memoBytes int64, drainTimeout time.Duration, quiet bool) error {
+func run(addr, addrFile, spool string, jobs, queue, memoEntries int, memoBytes int64, drainTimeout time.Duration, quiet, pprofOn bool) error {
 	if spool == "" {
 		return errors.New("-spool is required")
 	}
@@ -94,7 +100,23 @@ func run(addr, addrFile, spool string, jobs, queue, memoEntries int, memoBytes i
 	}
 	logf("burstlabd listening on %s (spool %s, %d job workers, queue %d)", bound, spool, jobs, queue)
 
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if pprofOn {
+		// The service handler owns every route it knows; profiling mounts
+		// beside it in a parent mux. Explicit registrations (rather than
+		// the net/http/pprof import side effect) keep the daemon off the
+		// global DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logf("pprof profiling endpoints enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 

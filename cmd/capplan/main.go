@@ -52,6 +52,7 @@ func run() error {
 	z := flag.Float64("z", 0.5, "think time Z_qn for the what-if model")
 	ebsList := flag.String("ebs", "25,50,75,100,150", "comma-separated EB counts to evaluate")
 	withBounds := flag.Bool("bounds", false, "also bracket throughput with product-form bounds")
+	withDecomp := flag.Bool("decomp", false, "also run the near-decomposable approximation (per-station fixed point) and report its error against the exact solve")
 	classes := flag.String("classes", "", `workload classes for a multiclass what-if ("gold=3,bronze=1" for mix weights, "gold:20,bronze:5" for fixed per-class populations)`)
 	flag.Parse()
 
@@ -69,6 +70,9 @@ func run() error {
 	}
 
 	solvers := []burst.SolverKind{burst.SolverMAP, burst.SolverMVA}
+	if *withDecomp {
+		solvers = append(solvers, burst.SolverDecomp)
+	}
 	if *withBounds {
 		solvers = append(solvers, burst.SolverBounds)
 	}
@@ -107,10 +111,16 @@ func run() error {
 			tier.FitSCV, tier.FitGamma)
 	}
 
+	if rep.Degraded {
+		fmt.Printf("DEGRADED: %s\n", rep.FallbackReason)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	header := "EBs\tMAP TPUT\tMAP R(s)"
 	for _, tier := range rep.Tiers {
 		header += "\tMAP U_" + tier.Name
+	}
+	if *withDecomp {
+		header += "\tDEC TPUT\tDEC R(s)\tDEC err"
 	}
 	header += "\tMVA TPUT\tMVA R(s)"
 	if *withBounds {
@@ -118,9 +128,27 @@ func run() error {
 	}
 	fmt.Fprintln(w, header)
 	for _, r := range rep.Results {
-		row := fmt.Sprintf("%d\t%.1f\t%.4f", r.Population, r.MAP.Throughput, r.MAP.ResponseTime)
-		for _, u := range r.MAP.Utils {
-			row += fmt.Sprintf("\t%.2f", u)
+		row := fmt.Sprintf("%d", r.Population)
+		if r.MAP != nil {
+			row += fmt.Sprintf("\t%.1f\t%.4f", r.MAP.Throughput, r.MAP.ResponseTime)
+			for _, u := range r.MAP.Utils {
+				row += fmt.Sprintf("\t%.2f", u)
+			}
+		} else {
+			// Degraded run: the exact columns stay blank.
+			row += strings.Repeat("\t", 2+len(rep.Tiers))
+		}
+		if *withDecomp {
+			if r.Decomp != nil {
+				row += fmt.Sprintf("\t%.1f\t%.4f", r.Decomp.Throughput, r.Decomp.ResponseTime)
+				if r.MAP != nil {
+					row += fmt.Sprintf("\t%.2f%%", 100*r.DecompError)
+				} else {
+					row += "\t"
+				}
+			} else {
+				row += "\t\t\t"
+			}
 		}
 		row += fmt.Sprintf("\t%.1f\t%.4f", r.MVA.Throughput, r.MVA.ResponseTime)
 		if r.Bounds != nil {

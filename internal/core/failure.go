@@ -241,11 +241,12 @@ func (r RetryPolicy) delay(attempt int) time.Duration {
 type FaultHook func(cellHash, stage string) error
 
 // SolveFallbackReason inspects an exact-MAP-solve error and reports
-// whether NetworkBounds can still bracket the answer: true for
-// non-convergence (ctmc.ErrNoConvergence) and for state spaces over the
-// backend limit (mapqn.ErrStateLimit). The returned reason populates
-// Report.FallbackReason so degraded rows are never mistaken for exact
-// ones.
+// whether a cheaper tier (the decomp approximation, then NetworkBounds)
+// can still answer: true for non-convergence (ctmc.ErrNoConvergence)
+// and for state spaces over the backend limit (mapqn.ErrStateLimit).
+// The returned reason populates Report.FallbackReason — with the hops
+// taken appended by the caller — so degraded rows are never mistaken
+// for exact ones.
 func SolveFallbackReason(err error) (string, bool) {
 	switch {
 	case errors.Is(err, ctmc.ErrNoConvergence):

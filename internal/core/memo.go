@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/inference"
+	"repro/internal/mapqn"
 	"repro/internal/markov"
 )
 
@@ -332,4 +333,20 @@ func (m *Memo) Solve(key string, compute func() ([]PredictionN, error)) ([]Predi
 		return nil, err
 	}
 	return v.([]PredictionN), nil
+}
+
+// SolveDecomp memoizes one model's decomposition population sweep (as
+// PlanN.PredictDecompCtx produces it). It shares the solve family —
+// and therefore the solve hit/miss counters and byte budget — with
+// Solve; keys embed the solver kind so the two never collide. A nil
+// memo computes directly.
+func (m *Memo) SolveDecomp(key string, compute func() ([]mapqn.NetworkMetrics, error)) ([]mapqn.NetworkMetrics, error) {
+	if m == nil {
+		return compute()
+	}
+	v, err := m.do(memoSolve, key, func() (any, error) { return compute() })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]mapqn.NetworkMetrics), nil
 }

@@ -211,6 +211,43 @@ func (p *PlanN) PredictCtx(ctx context.Context, populations []int, progress mapq
 	return out, nil
 }
 
+// DecompOptions resolves the plan's decomposition-solver options: the
+// configured ones, or defaults when the planner left them unset.
+func (p *PlanN) DecompOptions() mapqn.DecompOptions {
+	if p.opts.Decomp != nil {
+		return *p.opts.Decomp
+	}
+	return mapqn.DecompOptions{}
+}
+
+// PredictDecomp evaluates the approximate decomposition model at each
+// population level as one warm-started sweep (consecutive populations
+// seed each other's demand fixed points).
+func (p *PlanN) PredictDecomp(populations []int) ([]mapqn.NetworkMetrics, error) {
+	return p.PredictDecompCtx(context.Background(), populations, nil)
+}
+
+// PredictDecompCtx is PredictDecomp with cooperative cancellation and an
+// optional per-population progress callback (nil to disable).
+func (p *PlanN) PredictDecompCtx(ctx context.Context, populations []int, progress mapqn.SweepProgress) ([]mapqn.NetworkMetrics, error) {
+	if len(populations) == 0 {
+		return nil, errors.New("core: no populations requested")
+	}
+	for _, n := range populations {
+		if n < 1 {
+			return nil, fmt.Errorf("core: population %d must be >= 1", n)
+		}
+	}
+	mets, err := mapqn.SolveNetworkDecompSweepCtx(ctx, p.Stations(), p.ThinkTime, populations, p.DecompOptions(), progress)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("core: decomp model: %w", err)
+	}
+	return mets, nil
+}
+
 // MulticlassNetwork assembles the multiclass MVA network of the plan
 // from resolved class demands. Every class must supply one demand per
 // tier; classes inherit nothing here — ResolveClassDemands materializes

@@ -33,6 +33,11 @@ type PlannerOptions struct {
 	Fit markov.FitOptions `json:"fit,omitempty"`
 	// Solver configures the CTMC steady-state solver.
 	Solver ctmc.Options `json:"solver,omitempty"`
+	// Decomp configures the approximate decomposition solver's fixed
+	// point (nil for defaults). A pointer so that scenarios not touching
+	// it keep their canonical JSON — and therefore their content hashes —
+	// unchanged.
+	Decomp *mapqn.DecompOptions `json:"decomp,omitempty"`
 	// TierNames optionally labels the tiers of an N-tier plan (one per
 	// tier, in visit order). Empty uses front/app.../db defaults.
 	TierNames []string `json:"tier_names,omitempty"`

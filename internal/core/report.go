@@ -162,12 +162,17 @@ type ValidationPoint struct {
 	Classes             []ClassValidation `json:"classes,omitempty"`
 	ClassFallbackReason string            `json:"class_fallback_reason,omitempty"`
 	// Degraded marks a validation whose exact MAP solve failed and was
-	// replaced by NetworkBounds (Bounds); MAPThroughput/MAPUtil are then
-	// zero and MAP errors are not meaningful. FallbackReason explains why.
+	// replaced by the decomposition approximation (Decomp) or, if that
+	// also failed, by NetworkBounds (Bounds); MAPThroughput/MAPUtil are
+	// then zero and MAP errors are not meaningful. FallbackReason
+	// explains why and records each hop.
 	Degraded       bool   `json:"degraded,omitempty"`
 	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Decomp is the approximate solution standing in for the exact one
+	// when the solve degraded through the decomp hop.
+	Decomp *mapqn.NetworkMetrics `json:"decomp,omitempty"`
 	// Bounds bracket the MAP network's throughput when the exact solve
-	// degraded.
+	// degraded past the decomposition tier.
 	Bounds *mapqn.NetworkBoundsResult `json:"bounds,omitempty"`
 }
 
@@ -179,6 +184,13 @@ type PopulationReport struct {
 	MAP *mapqn.NetworkMetrics `json:"map,omitempty"`
 	// MVA is the product-form baseline ("mva" solver).
 	MVA *mva.Result `json:"mva,omitempty"`
+	// Decomp is the approximate aggregation/disaggregation solution
+	// ("decomp" solver, or the exact solver degrading through it).
+	Decomp *mapqn.NetworkMetrics `json:"decomp,omitempty"`
+	// DecompError is |X_decomp - X_map| / X_map, recorded whenever both
+	// the exact MAP and decomp solutions are present at this population
+	// — the approximation's measured throughput error.
+	DecompError float64 `json:"decomp_error,omitempty"`
 	// Multiclass is the multiclass-MVA solution (scenarios declaring
 	// classes; runs alongside whatever single-class solvers requested).
 	Multiclass *MulticlassPoint `json:"multiclass,omitempty"`
@@ -219,10 +231,12 @@ type Report struct {
 	PeakStates int `json:"peak_states,omitempty"`
 	// Degraded marks a report whose exact MAP solve failed
 	// (non-convergence, state-space limit, or the scenario deadline
-	// expiring mid-solve) and was replaced by NetworkBounds: the Bounds
-	// columns are filled and the MAP columns are absent. Degraded rows
-	// must never be mistaken for exact ones — FallbackReason says why the
-	// exact solve was abandoned.
+	// expiring mid-solve) and was replaced by the next tier of the
+	// fallback chain exact -> decomp -> bounds: the Decomp columns (or,
+	// if the decomposition also failed, the Bounds columns) are filled
+	// and the MAP columns are absent. Degraded rows must never be
+	// mistaken for exact ones — FallbackReason says why the exact solve
+	// was abandoned and which hops the chain took.
 	Degraded       bool   `json:"degraded,omitempty"`
 	FallbackReason string `json:"fallback_reason,omitempty"`
 }
@@ -239,6 +253,9 @@ func (r *Report) RecordSolverFootprint() {
 			if res.MAP.SolverBackend != "" {
 				r.SolverBackend = res.MAP.SolverBackend
 			}
+		}
+		if res.Decomp != nil && res.Decomp.States > r.PeakStates {
+			r.PeakStates = res.Decomp.States
 		}
 		if res.Validation != nil {
 			if res.Validation.States > r.PeakStates {

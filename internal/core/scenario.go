@@ -21,6 +21,14 @@ const (
 	SolverMAP SolverKind = "map"
 	// SolverMVA solves the classical product-form MVA baseline.
 	SolverMVA SolverKind = "mva"
+	// SolverDecomp solves the MAP network approximately by per-station
+	// aggregation/disaggregation (mapqn.SolveNetworkDecomp): K small
+	// level chains coupled through a damped fixed point on effective
+	// demands, O(K*N*phases) states total. It sits between SolverMAP
+	// (exact, combinatorial state space) and SolverBounds (brackets
+	// only): a scenario listing both map and decomp gets the relative
+	// throughput error recorded per population (DecompError).
+	SolverDecomp SolverKind = "decomp"
 	// SolverBounds brackets the MAP network's throughput with two O(N*K)
 	// product-form evaluations, usable far beyond exact CTMC reach.
 	SolverBounds SolverKind = "bounds"
@@ -33,7 +41,7 @@ const (
 )
 
 // knownSolvers lists every valid SolverKind.
-var knownSolvers = []SolverKind{SolverMAP, SolverMVA, SolverBounds, SolverSim, SolverCrossValidate}
+var knownSolvers = []SolverKind{SolverMAP, SolverMVA, SolverDecomp, SolverBounds, SolverSim, SolverCrossValidate}
 
 // Valid reports whether k names a known solver.
 func (k SolverKind) Valid() bool {
@@ -351,10 +359,10 @@ func (s Scenario) Wants(k SolverKind) bool {
 	return false
 }
 
-// WantsModel reports whether any analytical solver (map, mva, bounds) is
-// requested — the ones that consume the declared tier specs.
+// WantsModel reports whether any analytical solver (map, mva, decomp,
+// bounds) is requested — the ones that consume the declared tier specs.
 func (s Scenario) WantsModel() bool {
-	return s.Wants(SolverMAP) || s.Wants(SolverMVA) || s.Wants(SolverBounds)
+	return s.Wants(SolverMAP) || s.Wants(SolverMVA) || s.Wants(SolverDecomp) || s.Wants(SolverBounds)
 }
 
 // WantsSimulation reports whether any simulation-backed solver (sim,

@@ -126,6 +126,11 @@ type NetworkMetrics struct {
 	// "csr" (materialized) or "matrix-free" (rows regenerated per
 	// product).
 	SolverBackend string `json:"solver_backend,omitempty"`
+	// FixedPointResidual is the final outer residual of the decomposition
+	// fixed point (SolverMethod "decomp"): the maximum relative change of
+	// any station's effective demand at convergence. Zero for exact
+	// solves.
+	FixedPointResidual float64 `json:"fixed_point_residual,omitempty"`
 }
 
 // AsTwoTier converts K=2 network metrics to the legacy two-station

@@ -114,13 +114,18 @@ type Report struct {
 	SolverBackend string
 
 	// Degraded marks a validation whose exact MAP solve failed
-	// (non-convergence or state-space limit) and was replaced by
-	// NetworkBounds: MAPThroughput and the per-tier MAPUtil columns are
-	// zero and the MAP errors are not meaningful — Bounds brackets the
-	// throughput instead. FallbackReason says why the exact solve was
-	// abandoned.
+	// (non-convergence or state-space limit): MAPThroughput and the
+	// per-tier MAPUtil columns are zero and the MAP errors are not
+	// meaningful. The report then degrades down the solver ladder —
+	// Decomp carries the aggregation/disaggregation approximation when
+	// it converges, and Bounds always brackets the throughput — with
+	// FallbackReason saying why the exact solve was abandoned and which
+	// hops were taken.
 	Degraded       bool
 	FallbackReason string
+	// Decomp is the decomposition approximation at EBs when the exact
+	// solve degraded and the fixed point converged (nil otherwise).
+	Decomp *mapqn.NetworkMetrics
 	// Bounds bracket the MAP network's throughput at EBs when the exact
 	// solve degraded.
 	Bounds *mapqn.NetworkBoundsResult
@@ -194,7 +199,7 @@ func compare(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, opts
 			return nil, ctx.Err()
 		}
 		if reason, ok := core.SolveFallbackReason(err); ok {
-			return degraded(cfg, rr, z, plan, chars, reason, opts)
+			return degraded(ctx, cfg, rr, z, plan, chars, reason, opts)
 		}
 		return nil, fmt.Errorf("validate: model solve: %w", err)
 	}
@@ -293,11 +298,13 @@ func classColumns(rep *Report, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float
 }
 
 // degraded builds the fallback report when the exact MAP solve cannot
-// complete: NetworkBounds bracket the throughput the exact solver would
-// have produced and the MVA baseline fills the product-form column, so
-// a cross-validation row still carries usable model output instead of
-// failing the cell.
-func degraded(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.PlanN, chars []inference.Characterization, reason string, opts Options) (*Report, error) {
+// complete, walking the solver ladder: the decomposition approximation
+// first (its throughput tracks the exact solve within a few percent),
+// then NetworkBounds to bracket the throughput the exact solver would
+// have produced, with the MVA baseline filling the product-form column
+// — so a cross-validation row still carries usable model output instead
+// of failing the cell.
+func degraded(ctx context.Context, cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.PlanN, chars []inference.Characterization, reason string, opts Options) (*Report, error) {
 	bounds, err := plan.Bounds([]int{cfg.EBs})
 	if err != nil {
 		return nil, fmt.Errorf("validate: bounds fallback: %w", err)
@@ -315,6 +322,14 @@ func degraded(cfg tpcw.ConfigN, rr *tpcw.ReplicaResult, z float64, plan *core.Pl
 		Degraded:       true,
 		FallbackReason: reason,
 		Bounds:         &bounds[0],
+	}
+	if dmets, derr := plan.PredictDecompCtx(ctx, []int{cfg.EBs}, nil); derr == nil {
+		rep.Decomp = &dmets[0]
+		rep.FallbackReason = reason + "; decomp approximation reported alongside the bounds"
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
+	} else {
+		rep.FallbackReason = fmt.Sprintf("%s; decomp fallback also failed (%v); NetworkBounds reported instead", reason, derr)
 	}
 	if rr.Throughput.Mean > 0 {
 		rep.MVAError = (mvaRes.Throughput - rr.Throughput.Mean) / rr.Throughput.Mean

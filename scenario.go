@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -60,6 +61,7 @@ type (
 const (
 	SolverMAP           = core.SolverMAP
 	SolverMVA           = core.SolverMVA
+	SolverDecomp        = core.SolverDecomp
 	SolverBounds        = core.SolverBounds
 	SolverSim           = core.SolverSim
 	SolverCrossValidate = core.SolverCrossValidate
@@ -280,18 +282,20 @@ func characterizeTiers(sc Scenario, prog *progressEmitter, memo *core.Memo) ([]C
 	return chars, nil
 }
 
-// runModelSolvers executes the analytical solvers (map, mva, bounds)
-// over the scenario's declared tiers. With a non-nil memo, the
+// runModelSolvers executes the analytical solvers (map, mva, decomp,
+// bounds) over the scenario's declared tiers. With a non-nil memo, the
 // per-tier MAP(2) fits and the whole MAP-network population sweep are
 // served from the suite-level stage cache when an identical model was
 // already evaluated by another cell.
 //
-// When the exact MAP sweep fails for a reason NetworkBounds can still
-// bracket — non-convergence, a state space over the backend limit, or
+// When the exact MAP sweep fails for a reason a cheaper tier can still
+// answer — non-convergence, a state space over the backend limit, or
 // the scenario's own deadline expiring mid-solve while the parent
-// context is alive — the report degrades instead of erroring:
-// rep.Degraded is set, FallbackReason says why, the Bounds columns are
-// filled, and the MVA baseline still runs when requested.
+// context is alive — the report degrades instead of erroring through
+// the chain exact -> decomp -> bounds: rep.Degraded is set,
+// FallbackReason says why and records each hop, the decomp columns (or
+// the Bounds columns, when the decomposition also fails) are filled,
+// and the MVA baseline still runs when requested.
 func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog *progressEmitter, memo *core.Memo, inj stageInjector) error {
 	if err := fire(inj, StageCharacterize); err != nil {
 		return err
@@ -316,7 +320,7 @@ func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog
 		}
 	}
 
-	needFit := sc.Wants(SolverMAP) || sc.Wants(SolverBounds)
+	needFit := sc.Wants(SolverMAP) || sc.Wants(SolverDecomp) || sc.Wants(SolverBounds)
 	if needFit {
 		if err := fire(inj, StageFit); err != nil {
 			return err
@@ -329,8 +333,31 @@ func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog
 		}
 		rep.Tiers = tierReports(plan)
 		boundsDone := false
+		solveFired := false
+		fireSolve := func() error {
+			if solveFired {
+				return nil
+			}
+			solveFired = true
+			return fire(inj, StageSolve)
+		}
+		if sc.Wants(SolverDecomp) {
+			if err := fireSolve(); err != nil {
+				return err
+			}
+			mets, err := memoRetry(ctx, func() ([]MAPNetworkMetricsN, error) {
+				return solveDecompMemo(ctx, plan, sc, prog, memo)
+			})
+			if err != nil {
+				return core.MarkStage(err, StageSolve)
+			}
+			for i := range mets {
+				m := mets[i]
+				rep.Results[i].Decomp = &m
+			}
+		}
 		if sc.Wants(SolverMAP) {
-			if err := fire(inj, StageSolve); err != nil {
+			if err := fireSolve(); err != nil {
 				return err
 			}
 			preds, err := memoRetry(ctx, func() ([]core.PredictionN, error) {
@@ -345,6 +372,9 @@ func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog
 						m := p.MVA
 						rep.Results[i].MVA = &m
 					}
+					if d := rep.Results[i].Decomp; d != nil && p.MAP.Throughput > 0 {
+						rep.Results[i].DecompError = math.Abs(d.Throughput-p.MAP.Throughput) / p.MAP.Throughput
+					}
 				}
 			default:
 				reason, ok := degradeReason(parent, err)
@@ -352,16 +382,40 @@ func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog
 					return core.MarkStage(err, StageSolve)
 				}
 				rep.Degraded = true
-				rep.FallbackReason = reason
-				bounds, berr := plan.Bounds(sc.Populations)
-				if berr != nil {
-					return core.MarkStage(fmt.Errorf("burst: bounds fallback: %w", berr), StageBounds)
+				// First hop of the fallback chain: the decomposition
+				// approximation, run under the parent context (the
+				// scenario's own deadline may already have expired). If the
+				// scenario requested decomp anyway its columns are already
+				// filled; otherwise solve them now. Only when the
+				// decomposition also fails does the report fall back to
+				// NetworkBounds.
+				switch {
+				case sc.Wants(SolverDecomp):
+					rep.FallbackReason = reason + "; the decomp approximation stands in for the exact columns"
+				default:
+					dmets, derr := memoRetry(parent, func() ([]MAPNetworkMetricsN, error) {
+						return solveDecompMemo(parent, plan, sc, prog, memo)
+					})
+					if derr == nil {
+						for i := range dmets {
+							m := dmets[i]
+							rep.Results[i].Decomp = &m
+						}
+						rep.FallbackReason = reason + "; decomp approximation reported instead"
+					} else {
+						reason = fmt.Sprintf("%s; decomp fallback also failed (%v)", reason, derr)
+						rep.FallbackReason = reason + "; NetworkBounds reported instead"
+						bounds, berr := plan.Bounds(sc.Populations)
+						if berr != nil {
+							return core.MarkStage(fmt.Errorf("burst: bounds fallback: %w", berr), StageBounds)
+						}
+						for i := range bounds {
+							b := bounds[i]
+							rep.Results[i].Bounds = &b
+						}
+						boundsDone = true
+					}
 				}
-				for i := range bounds {
-					b := bounds[i]
-					rep.Results[i].Bounds = &b
-				}
-				boundsDone = true
 				if sc.Wants(SolverMVA) {
 					if err := solveMVA(plan.Baseline(), sc.Populations, rep); err != nil {
 						return core.MarkStage(err, StageSolve)
@@ -401,17 +455,18 @@ func runModelSolvers(ctx, parent context.Context, sc Scenario, rep *Report, prog
 	return solveMVA(mva.ModelN(demands, names, sc.ThinkTime), sc.Populations, rep)
 }
 
-// degradeReason decides whether a failed exact MAP sweep can degrade to
-// NetworkBounds instead of failing the scenario: deterministic solver
-// reasons (non-convergence, state-space limit) always qualify; a
-// deadline expiry qualifies only when the parent context is still alive
-// — i.e. the cell's own Scenario.Deadline ran out, not the suite.
+// degradeReason decides whether a failed exact MAP sweep can degrade
+// through the decomp -> bounds fallback chain instead of failing the
+// scenario: deterministic solver reasons (non-convergence, state-space
+// limit) always qualify; a deadline expiry qualifies only when the
+// parent context is still alive — i.e. the cell's own Scenario.Deadline
+// ran out, not the suite.
 func degradeReason(parent context.Context, err error) (string, bool) {
 	if reason, ok := core.SolveFallbackReason(err); ok {
 		return reason, true
 	}
 	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
-		return "scenario deadline expired during the exact MAP solve; NetworkBounds reported instead", true
+		return "scenario deadline expired during the exact MAP solve", true
 	}
 	return "", false
 }
@@ -554,6 +609,44 @@ func solveSweepMemo(ctx context.Context, plan *PlanN, sc Scenario, prog *progres
 	}
 	return memo.Solve(key, func() ([]core.PredictionN, error) {
 		return plan.PredictCtx(ctx, sc.Populations, progress)
+	})
+}
+
+// solveDecompMemo evaluates the plan's warm-started decomposition
+// population sweep, memoized like solveSweepMemo but keyed with the
+// solver kind and the decomp fixed-point options instead of the CTMC
+// solver options, so exact and approximate sweeps of the same model
+// never collide in the cache.
+func solveDecompMemo(ctx context.Context, plan *PlanN, sc Scenario, prog *progressEmitter, memo *core.Memo) ([]MAPNetworkMetricsN, error) {
+	progress := func(idx, pop int, _ MAPNetworkMetricsN) {
+		prog.emit(ProgressEvent{Stage: core.StageSolve, Population: pop, Step: idx + 1, Total: len(sc.Populations)})
+	}
+	if memo == nil {
+		return plan.PredictDecompCtx(ctx, sc.Populations, progress)
+	}
+	type tierKey struct {
+		Name   string           `json:"name"`
+		Char   Characterization `json:"char"`
+		Visits float64          `json:"visits"`
+	}
+	tiers := make([]tierKey, len(plan.Tiers))
+	for i, t := range plan.Tiers {
+		tiers[i] = tierKey{Name: t.Name, Char: t.Characterization, Visits: t.Visits}
+	}
+	popts := plannerOptions(sc)
+	key, err := core.HashJSON(struct {
+		Solver      string            `json:"solver"`
+		Tiers       []tierKey         `json:"tiers"`
+		ThinkTime   float64           `json:"think_time"`
+		Populations []int             `json:"populations"`
+		Fit         markov.FitOptions `json:"fit"`
+		Decomp      DecompOptions     `json:"decomp"`
+	}{string(SolverDecomp), tiers, sc.ThinkTime, sc.Populations, popts.Fit, plan.DecompOptions()})
+	if err != nil {
+		return nil, fmt.Errorf("burst: decomp solve key: %w", err)
+	}
+	return memo.SolveDecomp(key, func() ([]MAPNetworkMetricsN, error) {
+		return plan.PredictDecompCtx(ctx, sc.Populations, progress)
 	})
 }
 
@@ -732,6 +825,7 @@ func validationPoint(v *ValidationReport, multiclass bool) *ValidationPoint {
 		SolverBackend:  v.SolverBackend,
 		Degraded:       v.Degraded,
 		FallbackReason: v.FallbackReason,
+		Decomp:         v.Decomp,
 		Bounds:         v.Bounds,
 		Tiers:          make([]TierValidation, len(v.Tiers)),
 	}
@@ -783,6 +877,21 @@ func SolveNetwork(ctx context.Context, m MAPNetworkModelN, opts SolverOptions) (
 // per-population progress callback (nil to disable).
 func SolveNetworkSweep(ctx context.Context, stations []Station, thinkTime float64, customers []int, opts SolverOptions, progress SweepProgress) ([]MAPNetworkMetricsN, error) {
 	return mapqn.SolveNetworkSweepCtx(ctx, stations, thinkTime, customers, opts, progress)
+}
+
+// SolveNetworkDecomp solves a closed K-station MAP network approximately
+// by per-station aggregation/disaggregation (O(K*N*phases) states
+// instead of the exact product space), with cooperative cancellation.
+// The zero DecompOptions selects the defaults.
+func SolveNetworkDecomp(ctx context.Context, m MAPNetworkModelN, opts DecompOptions) (MAPNetworkMetricsN, error) {
+	return mapqn.SolveNetworkDecompCtx(ctx, m, opts)
+}
+
+// SolveNetworkDecompSweep solves a K-station MAP network approximately at
+// each population, warm-starting consecutive demand fixed points, with
+// cooperative cancellation and an optional progress callback.
+func SolveNetworkDecompSweep(ctx context.Context, stations []Station, thinkTime float64, customers []int, opts DecompOptions, progress SweepProgress) ([]MAPNetworkMetricsN, error) {
+	return mapqn.SolveNetworkDecompSweepCtx(ctx, stations, thinkTime, customers, opts, progress)
 }
 
 // SweepProgress observes a population sweep (see SolveNetworkSweep).
